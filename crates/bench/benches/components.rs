@@ -1,0 +1,154 @@
+//! Component throughput benches: the data structures every experiment
+//! rests on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use tifs_bench::{bench_records, bench_symbols, bench_workload};
+use tifs_core::{FunctionalConfig, FunctionalTifs};
+use tifs_sequitur::{LceIndex, Sequitur};
+use tifs_sim::bpred::HybridPredictor;
+use tifs_sim::cache::SetAssocCache;
+use tifs_trace::codec::{read_trace, write_trace};
+use tifs_trace::{Addr, BlockAddr};
+
+fn bench_sequitur(c: &mut Criterion) {
+    let symbols = bench_symbols(1_000_000);
+    let mut g = c.benchmark_group("sequitur");
+    g.throughput(Throughput::Elements(symbols.len() as u64));
+    g.sample_size(10);
+    g.bench_function("build_grammar", |b| {
+        b.iter(|| {
+            let mut s = Sequitur::with_capacity(symbols.len());
+            s.extend(symbols.iter().copied());
+            s.into_grammar().num_rules()
+        })
+    });
+    g.finish();
+}
+
+fn bench_suffix(c: &mut Criterion) {
+    let symbols = bench_symbols(1_000_000);
+    let mut g = c.benchmark_group("suffix");
+    g.throughput(Throughput::Elements(symbols.len() as u64));
+    g.sample_size(10);
+    g.bench_function("lce_index_build", |b| {
+        b.iter(|| LceIndex::new(&symbols).len())
+    });
+    let idx = LceIndex::new(&symbols);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("lce_query", |b| {
+        let n = symbols.len();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i * 31 + 7) % n;
+            idx.lce(i, (i * 17 + 3) % n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("l1i_access_insert", |b| {
+        let mut cache = SetAssocCache::new(64 * 1024, 2);
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let blk = BlockAddr(x % 4096);
+            if !cache.access(blk) {
+                cache.insert(blk);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_bpred(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bpred");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("hybrid_predict_update", |b| {
+        let mut bp = HybridPredictor::table2();
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pc = Addr((x % 16384) << 2);
+            let taken = x & 8 != 0;
+            let p = bp.predict(pc);
+            bp.update(pc, taken);
+            p
+        })
+    });
+    g.finish();
+}
+
+fn bench_walker(c: &mut Criterion) {
+    let w = bench_workload();
+    let mut g = c.benchmark_group("walker");
+    g.throughput(Throughput::Elements(100_000));
+    g.sample_size(20);
+    g.bench_function("instructions_100k", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            w.walker(seed as usize % 4).take(100_000).count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let records = bench_records(100_000);
+    let mut encoded = Vec::new();
+    write_trace(&mut encoded, &records).expect("encode");
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.sample_size(20);
+    g.bench_function("encode", |b| {
+        b.iter_batched(
+            Vec::new,
+            |mut buf| {
+                write_trace(&mut buf, &records).expect("encode");
+                buf.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| read_trace(&mut encoded.as_slice()).expect("decode").len())
+    });
+    g.finish();
+}
+
+fn bench_functional_tifs(c: &mut Criterion) {
+    let trace = bench_miss_trace_local();
+    let mut g = c.benchmark_group("tifs");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.sample_size(20);
+    g.bench_function("functional_per_miss", |b| {
+        b.iter(|| {
+            let mut f = FunctionalTifs::new(1, FunctionalConfig::default());
+            for &blk in &trace {
+                f.process(0, blk);
+            }
+            f.report().covered
+        })
+    });
+    g.finish();
+}
+
+fn bench_miss_trace_local() -> Vec<BlockAddr> {
+    tifs_bench::bench_miss_trace(1_000_000)
+}
+
+criterion_group!(
+    benches,
+    bench_sequitur,
+    bench_suffix,
+    bench_cache,
+    bench_bpred,
+    bench_walker,
+    bench_codec,
+    bench_functional_tifs
+);
+criterion_main!(benches);

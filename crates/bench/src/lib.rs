@@ -1,0 +1,34 @@
+//! Benchmark support: shared fixtures for the Criterion benches.
+//!
+//! Run with `cargo bench -p tifs-bench`. Two suites:
+//!
+//! * `components` — throughput of the core data structures (SEQUITUR,
+//!   suffix array, caches, predictors, trace codec, the walker);
+//! * `figures` — the kernel of each paper table/figure at reduced scale
+//!   (the full regenerations are the `tifs-experiments` binaries).
+
+use tifs_sim::config::SystemConfig;
+use tifs_sim::miss_trace::miss_trace;
+use tifs_trace::workload::{Workload, WorkloadSpec};
+use tifs_trace::{BlockAddr, FetchRecord};
+
+/// A small but realistic workload fixture shared by the benches.
+pub fn bench_workload() -> Workload {
+    Workload::build(&WorkloadSpec::web_zeus(), 42)
+}
+
+/// A committed instruction stream slice.
+pub fn bench_records(n: usize) -> Vec<FetchRecord> {
+    bench_workload().walker(0).take(n).collect()
+}
+
+/// An L1-I miss trace of roughly paper-like statistics.
+pub fn bench_miss_trace(instructions: usize) -> Vec<BlockAddr> {
+    let w = bench_workload();
+    miss_trace(w.walker(0).take(instructions), &SystemConfig::table2())
+}
+
+/// Miss trace as analysis symbols.
+pub fn bench_symbols(instructions: usize) -> Vec<u64> {
+    bench_miss_trace(instructions).iter().map(|b| b.0).collect()
+}

@@ -1,0 +1,198 @@
+//! Instruction Miss Logs (paper Sections 5.1.1 and 5.2.2).
+//!
+//! Each core owns an IML: an append-only log of the block addresses of its
+//! L1-I fetch misses, recorded at instruction retirement. Every entry
+//! carries one extra bit — whether the miss was satisfied by the SVB — used
+//! for end-of-stream detection. Positions are absolute (monotonically
+//! increasing); bounded logs retain only the most recent `capacity`
+//! entries, so stale Index-Table pointers naturally die when their target
+//! is overwritten.
+//!
+//! In the virtualized organization the log lives in the L2 data array and
+//! is read/written in groups of twelve 38-bit entries per 64-byte block
+//! (paper Section 5.2.2); the prefetcher issues that traffic, while this
+//! structure models the contents.
+
+use std::collections::VecDeque;
+
+use tifs_trace::BlockAddr;
+
+/// Entries per 64-byte L2 block (twelve recorded miss addresses).
+pub const ENTRIES_PER_L2_BLOCK: usize = 12;
+
+/// Bits per IML entry (38-bit physical block address + 1 hit bit), used to
+/// convert storage budgets into entry counts (paper Section 6.3).
+pub const BITS_PER_ENTRY: u64 = 39;
+
+/// Converts a per-chip storage budget in kilobytes to entries per core.
+pub fn entries_per_core_for_kb(total_kb: f64, cores: usize) -> usize {
+    let bits = total_kb * 1024.0 * 8.0;
+    ((bits / BITS_PER_ENTRY as f64) / cores as f64) as usize
+}
+
+/// One logged miss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImlEntry {
+    /// Missed block address.
+    pub block: BlockAddr,
+    /// The miss was satisfied by the SVB (correct prior prediction).
+    pub svb_hit: bool,
+}
+
+/// A single core's instruction miss log.
+#[derive(Clone, Debug)]
+pub struct Iml {
+    entries: VecDeque<ImlEntry>,
+    /// Absolute position of `entries\[0\]`.
+    base: u64,
+    /// Total entries ever appended (= absolute position of next append).
+    appended: u64,
+    /// `None` = unbounded (the paper's TIFS-unbounded configuration).
+    capacity: Option<usize>,
+}
+
+impl Iml {
+    /// Creates a log retaining `capacity` entries (`None` = unbounded).
+    pub fn new(capacity: Option<usize>) -> Iml {
+        if let Some(c) = capacity {
+            assert!(c >= ENTRIES_PER_L2_BLOCK, "capacity too small: {c}");
+        }
+        Iml {
+            entries: VecDeque::new(),
+            base: 0,
+            appended: 0,
+            capacity,
+        }
+    }
+
+    /// Appends one miss; returns its absolute position.
+    pub fn append(&mut self, block: BlockAddr, svb_hit: bool) -> u64 {
+        let pos = self.appended;
+        self.entries.push_back(ImlEntry { block, svb_hit });
+        self.appended += 1;
+        if let Some(c) = self.capacity {
+            while self.entries.len() > c {
+                self.entries.pop_front();
+                self.base += 1;
+            }
+        }
+        pos
+    }
+
+    /// The entry at absolute position `pos`, if still retained.
+    pub fn get(&self, pos: u64) -> Option<ImlEntry> {
+        if pos < self.base || pos >= self.appended {
+            return None;
+        }
+        self.entries.get((pos - self.base) as usize).copied()
+    }
+
+    /// Reads up to `n` consecutive entries starting at `pos` (one
+    /// virtualized group read). Returns fewer when the log ends or `pos`
+    /// has been overwritten.
+    pub fn read_group(&self, pos: u64, n: usize) -> Vec<ImlEntry> {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            match self.get(pos + i) {
+                Some(e) => out.push(e),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Absolute position of the next append.
+    pub fn next_pos(&self) -> u64 {
+        self.appended
+    }
+
+    /// Whether `pos` still refers to a retained entry.
+    pub fn is_valid(&self, pos: u64) -> bool {
+        pos >= self.base && pos < self.appended
+    }
+
+    /// Currently retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_get() {
+        let mut iml = Iml::new(None);
+        let p0 = iml.append(BlockAddr(10), false);
+        let p1 = iml.append(BlockAddr(11), true);
+        assert_eq!(p0, 0);
+        assert_eq!(p1, 1);
+        assert_eq!(
+            iml.get(0),
+            Some(ImlEntry {
+                block: BlockAddr(10),
+                svb_hit: false
+            })
+        );
+        assert_eq!(iml.get(1).unwrap().svb_hit, true);
+        assert_eq!(iml.get(2), None);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut iml = Iml::new(Some(16));
+        for i in 0..40u64 {
+            iml.append(BlockAddr(i), false);
+        }
+        assert_eq!(iml.len(), 16);
+        assert!(!iml.is_valid(23), "position 23 overwritten");
+        assert!(iml.is_valid(24));
+        assert_eq!(iml.get(39).unwrap().block, BlockAddr(39));
+        assert_eq!(iml.get(0), None);
+    }
+
+    #[test]
+    fn read_group_truncates_at_end() {
+        let mut iml = Iml::new(None);
+        for i in 0..5u64 {
+            iml.append(BlockAddr(i), false);
+        }
+        let g = iml.read_group(3, ENTRIES_PER_L2_BLOCK);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0].block, BlockAddr(3));
+        assert!(iml.read_group(99, 12).is_empty());
+    }
+
+    #[test]
+    fn read_group_truncates_at_overwrite() {
+        let mut iml = Iml::new(Some(16));
+        for i in 0..32u64 {
+            iml.append(BlockAddr(i), false);
+        }
+        // Positions 0..16 are gone.
+        assert!(iml.read_group(8, 12).is_empty());
+        assert_eq!(iml.read_group(16, 12).len(), 12);
+    }
+
+    #[test]
+    fn storage_budget_conversion() {
+        // Paper Section 6.3: 156 KB total = 8K entries per core on 4 cores.
+        let entries = entries_per_core_for_kb(156.0, 4);
+        assert!(
+            (7800..=8400).contains(&entries),
+            "156 KB should be ~8K entries/core, got {entries}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity too small")]
+    fn rejects_tiny_capacity() {
+        Iml::new(Some(4));
+    }
+}

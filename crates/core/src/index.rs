@@ -1,0 +1,162 @@
+//! The Index Table (paper Sections 5.1 and 5.2.2): a shared map from block
+//! address to the most recent IML position where that address was logged,
+//! across all cores' IMLs.
+//!
+//! Two organizations:
+//!
+//! * **Dedicated** — a standalone table (the paper's Figure 11 analysis
+//!   assumes a perfect dedicated table).
+//! * **Embedded** — pointers live as extra bits in the L2 tag array:
+//!   lookups piggyback on the L2 access (free), updates go through the tag
+//!   pipelines at lowest priority and may be *dropped* under back-pressure,
+//!   and a pointer dies when its block's L2 tag is evicted.
+//!
+//! The embedding mechanics (drop decisions, eviction notifications) are
+//! driven by the prefetcher; this structure records the consequences.
+
+use std::collections::HashMap;
+
+use tifs_trace::BlockAddr;
+
+/// A pointer into one core's IML.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImlPtr {
+    /// Which core's IML the address was logged in.
+    pub core: u8,
+    /// Absolute position within that IML.
+    pub pos: u64,
+}
+
+/// Index-table organization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Standalone structure; never loses entries except by replacement.
+    Dedicated,
+    /// Embedded in L2 tags; entries die on L2 eviction and updates may be
+    /// dropped.
+    Embedded,
+}
+
+/// The shared Index Table.
+#[derive(Clone, Debug)]
+pub struct IndexTable {
+    map: HashMap<BlockAddr, ImlPtr>,
+    kind: IndexKind,
+    updates: u64,
+    dropped_updates: u64,
+    invalidations: u64,
+}
+
+impl IndexTable {
+    /// Creates an empty table of the given organization.
+    pub fn new(kind: IndexKind) -> IndexTable {
+        IndexTable {
+            map: HashMap::new(),
+            kind,
+            updates: 0,
+            dropped_updates: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Organization.
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// Most recent logged occurrence of `block`, if indexed.
+    pub fn lookup(&self, block: BlockAddr) -> Option<ImlPtr> {
+        self.map.get(&block).copied()
+    }
+
+    /// Points `block` at a fresh IML position. `applied` is false when the
+    /// embedded tag-pipeline dropped the update (paper: "updates are
+    /// discarded" under back-pressure), in which case the stale pointer is
+    /// retained.
+    pub fn update(&mut self, block: BlockAddr, ptr: ImlPtr, applied: bool) {
+        if applied {
+            self.updates += 1;
+            self.map.insert(block, ptr);
+        } else {
+            self.dropped_updates += 1;
+        }
+    }
+
+    /// L2 evicted `block`: an embedded pointer dies with its tag.
+    pub fn on_l2_evict(&mut self, block: BlockAddr) {
+        if self.kind == IndexKind::Embedded && self.map.remove(&block).is_some() {
+            self.invalidations += 1;
+        }
+    }
+
+    /// Indexed addresses.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` when no address is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// (applied updates, dropped updates, eviction invalidations).
+    pub fn churn(&self) -> (u64, u64, u64) {
+        (self.updates, self.dropped_updates, self.invalidations)
+    }
+
+    /// Zeroes churn counters (warmup discard); contents are preserved.
+    pub fn reset_counters(&mut self) {
+        self.updates = 0;
+        self.dropped_updates = 0;
+        self.invalidations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_then_lookup() {
+        let mut t = IndexTable::new(IndexKind::Dedicated);
+        let ptr = ImlPtr { core: 2, pos: 77 };
+        t.update(BlockAddr(5), ptr, true);
+        assert_eq!(t.lookup(BlockAddr(5)), Some(ptr));
+        assert_eq!(t.lookup(BlockAddr(6)), None);
+    }
+
+    #[test]
+    fn recent_heuristic_latest_wins() {
+        let mut t = IndexTable::new(IndexKind::Dedicated);
+        t.update(BlockAddr(5), ImlPtr { core: 0, pos: 1 }, true);
+        t.update(BlockAddr(5), ImlPtr { core: 1, pos: 9 }, true);
+        assert_eq!(t.lookup(BlockAddr(5)), Some(ImlPtr { core: 1, pos: 9 }));
+    }
+
+    #[test]
+    fn dropped_update_keeps_stale_pointer() {
+        let mut t = IndexTable::new(IndexKind::Embedded);
+        t.update(BlockAddr(5), ImlPtr { core: 0, pos: 1 }, true);
+        t.update(BlockAddr(5), ImlPtr { core: 0, pos: 2 }, false);
+        assert_eq!(t.lookup(BlockAddr(5)), Some(ImlPtr { core: 0, pos: 1 }));
+        let (applied, dropped, _) = t.churn();
+        assert_eq!((applied, dropped), (1, 1));
+    }
+
+    #[test]
+    fn embedded_dies_on_eviction() {
+        let mut t = IndexTable::new(IndexKind::Embedded);
+        t.update(BlockAddr(5), ImlPtr { core: 0, pos: 1 }, true);
+        t.on_l2_evict(BlockAddr(5));
+        assert_eq!(t.lookup(BlockAddr(5)), None);
+        assert_eq!(t.churn().2, 1);
+    }
+
+    #[test]
+    fn dedicated_survives_eviction() {
+        let mut t = IndexTable::new(IndexKind::Dedicated);
+        t.update(BlockAddr(5), ImlPtr { core: 0, pos: 1 }, true);
+        t.on_l2_evict(BlockAddr(5));
+        assert!(t.lookup(BlockAddr(5)).is_some());
+    }
+}

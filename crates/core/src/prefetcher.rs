@@ -1,0 +1,563 @@
+//! The TIFS prefetcher: ties the per-core IMLs and SVBs to the shared
+//! Index Table and drives them from the CMP timing model.
+//!
+//! Operation (paper Figure 7):
+//! 1. an L1-I miss consults the Index Table (free — piggybacked on the L2
+//!    access in the embedded organization);
+//! 2. the pointer identifies the IML position where the address was most
+//!    recently logged (the *Recent* heuristic);
+//! 3. the stream following that position is read from the IML (twelve
+//!    entries per virtualized read) into an SVB stream context;
+//! 4. the SVB requests the stream's blocks from L2, rate-matched to keep
+//!    four streamed-but-unaccessed blocks per stream;
+//! 5. later misses that hit in the SVB are filled into the L1 instantly,
+//!    advance the stream, and are logged (with the hit bit set) so the
+//!    stream is refetched on its next traversal;
+//! 6. fetching pauses after the first block whose logged hit bit is clear
+//!    (potential end of stream) and resumes if that block is demanded.
+
+use tifs_sim::cache::SetAssocCache;
+use tifs_sim::l2::L2ReqKind;
+use tifs_sim::prefetch::{FetchKind, IPrefetcher, PrefetchCtx};
+use tifs_trace::BlockAddr;
+
+use crate::iml::{Iml, ENTRIES_PER_L2_BLOCK};
+use crate::index::{ImlPtr, IndexKind, IndexTable};
+use crate::svb::Svb;
+
+/// IML storage organization (the three TIFS bars of paper Figure 13).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ImlStorage {
+    /// Unlimited log, no storage traffic (idealized bound).
+    Unbounded,
+    /// Dedicated SRAM of `entries_per_core` entries; no L2 traffic.
+    Dedicated {
+        /// Log entries retained per core.
+        entries_per_core: usize,
+    },
+    /// Log lives in the L2 data array: bounded, and reads/writes are real
+    /// L2 accesses contending for banks.
+    Virtualized {
+        /// Log entries retained per core.
+        entries_per_core: usize,
+    },
+}
+
+/// TIFS configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TifsConfig {
+    /// IML organization.
+    pub storage: ImlStorage,
+    /// Index-Table organization.
+    pub index: IndexKind,
+    /// SVB capacity in blocks (paper: 2 KB = 32).
+    pub svb_blocks: usize,
+    /// Concurrent stream contexts per SVB.
+    pub stream_contexts: usize,
+    /// Streamed-but-unaccessed blocks maintained per stream. The paper
+    /// uses 4; our default is 8 because logged streams include the
+    /// late-sequential blocks that follow discontinuities, roughly
+    /// doubling stream density relative to discontinuity targets alone.
+    pub rate_target: usize,
+    /// Enable end-of-stream detection via hit bits (paper Section 5.1.3).
+    pub end_of_stream: bool,
+}
+
+impl TifsConfig {
+    /// The paper's default: 8K entries/core (156 KB total on 4 cores).
+    pub const DEFAULT_ENTRIES_PER_CORE: usize = 8192;
+
+    /// TIFS with unbounded IMLs and a dedicated index (idealized).
+    pub fn unbounded() -> TifsConfig {
+        TifsConfig {
+            storage: ImlStorage::Unbounded,
+            index: IndexKind::Dedicated,
+            svb_blocks: 32,
+            stream_contexts: 4,
+            rate_target: 8,
+            end_of_stream: true,
+        }
+    }
+
+    /// TIFS with 156 KB of dedicated IML SRAM.
+    pub fn dedicated() -> TifsConfig {
+        TifsConfig {
+            storage: ImlStorage::Dedicated {
+                entries_per_core: Self::DEFAULT_ENTRIES_PER_CORE,
+            },
+            index: IndexKind::Embedded,
+            ..TifsConfig::unbounded()
+        }
+    }
+
+    /// TIFS with 156 KB of IML storage virtualized into the L2 data array
+    /// (the paper's proposed design).
+    pub fn virtualized() -> TifsConfig {
+        TifsConfig {
+            storage: ImlStorage::Virtualized {
+                entries_per_core: Self::DEFAULT_ENTRIES_PER_CORE,
+            },
+            index: IndexKind::Embedded,
+            ..TifsConfig::unbounded()
+        }
+    }
+}
+
+/// The TIFS prefetcher for a whole CMP.
+#[derive(Clone, Debug)]
+pub struct TifsPrefetcher {
+    cfg: TifsConfig,
+    imls: Vec<Iml>,
+    index: IndexTable,
+    svbs: Vec<Svb>,
+    /// Per-core mirror of L1-I contents, consulted before issuing stream
+    /// prefetches (residency probes over the L1 tag ports; the paper's
+    /// methodology grants FDIP the same unlimited tag bandwidth).
+    l1_mirrors: Vec<SetAssocCache>,
+    // Counters.
+    lookups: u64,
+    failed_lookups: u64,
+    streams_allocated: u64,
+    issued: u64,
+    supplied: u64,
+    iml_reads: u64,
+    iml_writes: u64,
+    timely_supplies: u64,
+    late_supplies: u64,
+    late_cycles: u64,
+}
+
+impl TifsPrefetcher {
+    /// Creates TIFS for `num_cores` cores.
+    pub fn new(num_cores: usize, cfg: TifsConfig) -> TifsPrefetcher {
+        let capacity = match cfg.storage {
+            ImlStorage::Unbounded => None,
+            ImlStorage::Dedicated { entries_per_core }
+            | ImlStorage::Virtualized { entries_per_core } => Some(entries_per_core),
+        };
+        TifsPrefetcher {
+            cfg,
+            imls: (0..num_cores).map(|_| Iml::new(capacity)).collect(),
+            index: IndexTable::new(cfg.index),
+            svbs: (0..num_cores)
+                .map(|_| Svb::new(cfg.svb_blocks, cfg.stream_contexts))
+                .collect(),
+            l1_mirrors: (0..num_cores)
+                .map(|_| SetAssocCache::new(64 * 1024, 2))
+                .collect(),
+            lookups: 0,
+            failed_lookups: 0,
+            streams_allocated: 0,
+            issued: 0,
+            supplied: 0,
+            iml_reads: 0,
+            iml_writes: 0,
+            timely_supplies: 0,
+            late_supplies: 0,
+            late_cycles: 0,
+        }
+    }
+
+    fn virtualized(&self) -> bool {
+        matches!(self.cfg.storage, ImlStorage::Virtualized { .. })
+    }
+
+    /// Synthetic L2 block address backing a group of IML entries, in a
+    /// private region of the physical address space (paper Section 5.2.2).
+    fn iml_region_block(core: usize, pos: u64) -> BlockAddr {
+        BlockAddr(0x0800_0000 + core as u64 * 0x0010_0000 + (pos / ENTRIES_PER_L2_BLOCK as u64))
+    }
+
+    /// Reads the next IML group into the stream's FIFO, issuing the
+    /// virtualized L2 read when applicable.
+    fn refill_stream(&mut self, ctx: &mut PrefetchCtx<'_>, core: usize, sid: u8) {
+        let virtualized = self.virtualized();
+        let (src_core, next_pos) = {
+            let s = self.svbs[core].stream_mut(sid);
+            if s.exhausted || s.read_pending {
+                return;
+            }
+            (s.src_core as usize, s.next_pos)
+        };
+        let group = self.imls[src_core].read_group(next_pos, ENTRIES_PER_L2_BLOCK);
+        if group.is_empty() {
+            self.svbs[core].stream_mut(sid).exhausted = true;
+            return;
+        }
+        let data_ready = if virtualized {
+            let addr = Self::iml_region_block(src_core, next_pos);
+            match ctx.l2.request(ctx.now, addr, L2ReqKind::ImlRead, None) {
+                Some(resp) => {
+                    self.iml_reads += 1;
+                    resp.ready
+                }
+                None => return, // MSHRs full; retry on a later tick
+            }
+        } else {
+            ctx.now + 1
+        };
+        let got = group.len() as u64;
+        let s = self.svbs[core].stream_mut(sid);
+        s.fifo.extend(group);
+        s.next_pos += got;
+        s.data_ready = s.data_ready.max(data_ready);
+        if got < ENTRIES_PER_L2_BLOCK as u64 {
+            // Caught up with the log head; more may be appended later, so
+            // keep the stream live but stop reading until entries exist.
+            s.exhausted = true;
+        }
+    }
+
+    /// Issues stream prefetches for one core, honouring rate matching and
+    /// end-of-stream pauses.
+    fn pump_streams(&mut self, ctx: &mut PrefetchCtx<'_>, core: usize) {
+        self.svbs[core].drain_arrivals(ctx.now);
+        for sid in 0..self.svbs[core].num_streams() as u8 {
+            let rate_target = self.cfg.rate_target;
+            loop {
+                let s = &self.svbs[core].streams()[sid as usize];
+                if !s.active
+                    || s.data_ready > ctx.now
+                    || (self.cfg.end_of_stream && s.paused_on.is_some())
+                {
+                    break;
+                }
+                if s.fifo.is_empty() {
+                    if !s.exhausted && !s.read_pending {
+                        self.refill_stream(ctx, core, sid);
+                        let s = &self.svbs[core].streams()[sid as usize];
+                        if s.fifo.is_empty() {
+                            break;
+                        }
+                        continue;
+                    }
+                    break;
+                }
+                if self.svbs[core].outstanding(sid) >= rate_target {
+                    break;
+                }
+                let entry = self.svbs[core]
+                    .stream_mut(sid)
+                    .fifo
+                    .pop_front()
+                    .expect("checked non-empty");
+                // Duplicate filter: already streamed and waiting.
+                if self.svbs[core].holds(entry.block) {
+                    continue;
+                }
+                // Residency filter: skip blocks the L1 already holds (a
+                // probe over the tag port). The end-of-stream question is
+                // still live for a skipped clear-bit block: pause and wait
+                // to observe it in the fetch stream.
+                if self.l1_mirrors[core].peek(entry.block) {
+                    if self.cfg.end_of_stream && !entry.svb_hit {
+                        self.svbs[core].stream_mut(sid).paused_on = Some(entry.block);
+                        break;
+                    }
+                    continue;
+                }
+                match ctx
+                    .l2
+                    .request(ctx.now, entry.block, L2ReqKind::IPrefetch, None)
+                {
+                    Some(resp) => {
+                        self.issued += 1;
+                        self.svbs[core].note_inflight(entry.block, resp.ready, sid);
+                        if self.cfg.end_of_stream && !entry.svb_hit {
+                            // Potential end of stream: pause until demanded.
+                            self.svbs[core].stream_mut(sid).paused_on = Some(entry.block);
+                            break;
+                        }
+                    }
+                    None => {
+                        // MSHRs full: put it back and retry next cycle.
+                        self.svbs[core].stream_mut(sid).fifo.push_front(entry);
+                        break;
+                    }
+                }
+            }
+            // Keep the FIFO primed ahead of the rate-matched issue.
+            let s = &self.svbs[core].streams()[sid as usize];
+            if s.active && s.fifo.len() < rate_target && !s.exhausted {
+                self.refill_stream(ctx, core, sid);
+            }
+        }
+    }
+}
+
+impl IPrefetcher for TifsPrefetcher {
+    fn name(&self) -> &'static str {
+        "tifs"
+    }
+
+    fn on_block_fetch(
+        &mut self,
+        ctx: &mut PrefetchCtx<'_>,
+        block: BlockAddr,
+        kind: FetchKind,
+    ) -> Option<u64> {
+        // Maintain the L1 mirror: the fetched block plus the next-line
+        // prefetches it triggers.
+        for d in 0..=4u64 {
+            self.l1_mirrors[ctx.core].insert(block.offset(d));
+        }
+        if kind == FetchKind::L1Hit {
+            // The SVB supplies blocks only after an L1 miss (paper: lookup
+            // off the critical fetch path), but it observes the fetched
+            // block address to retire dead entries and resume a stream
+            // paused on a block that turned out L1-resident.
+            self.svbs[ctx.core].on_l1_hit(block, ctx.now);
+            // Streams paused on this block in the FIFO (not yet issued)
+            // also resume past it.
+            for sid in 0..self.svbs[ctx.core].num_streams() as u8 {
+                let st = &self.svbs[ctx.core].streams()[sid as usize];
+                if st.active && st.fifo.front().map(|e| e.block) == Some(block) {
+                    let st = self.svbs[ctx.core].stream_mut(sid);
+                    st.fifo.pop_front();
+                    st.paused_on = None;
+                }
+            }
+            return None;
+        }
+        let core = ctx.core;
+        if let Some((ready, _sid)) = self.svbs[core].take(block, ctx.now) {
+            self.supplied += 1;
+            if ready <= ctx.now {
+                self.timely_supplies += 1;
+            } else {
+                self.late_supplies += 1;
+                self.late_cycles += ready - ctx.now;
+            }
+            return Some(ready.max(ctx.now));
+        }
+        // The block may be further down an active stream's FIFO (the
+        // stream is following correctly but the prefetches have not been
+        // issued yet). Fast-forward that stream rather than replacing a
+        // context: the SVB's stream pointers keep following; the demand
+        // miss proceeds to L2.
+        for sid in 0..self.svbs[core].num_streams() as u8 {
+            let s = &self.svbs[core].streams()[sid as usize];
+            if !s.active {
+                continue;
+            }
+            if let Some(off) = s.fifo.iter().position(|e| e.block == block) {
+                let now = ctx.now;
+                let st = self.svbs[core].stream_mut(sid);
+                st.fifo.drain(..=off);
+                st.last_use = now;
+                st.paused_on = None;
+                return None;
+            }
+        }
+        // A transition covered by an in-flight next-line fill is an L1 hit
+        // in the paper's accounting: it never triggers a stream lookup.
+        if kind == FetchKind::NextLineInFlight {
+            return None;
+        }
+        // SVB miss: locate the most recent occurrence and start a stream.
+        self.lookups += 1;
+        match self.index.lookup(block) {
+            Some(ImlPtr { core: src, pos })
+                if self.imls[src as usize].is_valid(pos) =>
+            {
+                let sid = self.svbs[core].allocate_stream(ctx.now, src, pos + 1);
+                self.streams_allocated += 1;
+                self.refill_stream(ctx, core, sid);
+            }
+            _ => {
+                self.failed_lookups += 1;
+            }
+        }
+        None
+    }
+
+    fn on_retire_fetch_miss(
+        &mut self,
+        ctx: &mut PrefetchCtx<'_>,
+        block: BlockAddr,
+        supplied: bool,
+    ) {
+        let core = ctx.core;
+        let pos = self.imls[core].append(block, supplied);
+        if self.virtualized() && (pos + 1) % ENTRIES_PER_L2_BLOCK as u64 == 0 {
+            // A group filled: write it back to the L2 data array.
+            let addr = Self::iml_region_block(core, pos);
+            if ctx.l2.request(ctx.now, addr, L2ReqKind::ImlWrite, None).is_some() {
+                self.iml_writes += 1;
+            }
+        }
+        let applied = match self.cfg.index {
+            IndexKind::Dedicated => true,
+            IndexKind::Embedded => {
+                // The pointer rides the L2 tag: the update needs a tag-pipe
+                // slot and a matching resident tag (paper Section 5.2.2).
+                ctx.l2.contains_instruction(block) && ctx.l2.tag_update(ctx.now, block)
+            }
+        };
+        self.index.update(
+            block,
+            ImlPtr {
+                core: core as u8,
+                pos,
+            },
+            applied,
+        );
+    }
+
+    fn on_l2_evict(&mut self, block: BlockAddr) {
+        self.index.on_l2_evict(block);
+    }
+
+    fn tick(&mut self, ctx: &mut PrefetchCtx<'_>) {
+        for core in 0..self.svbs.len() {
+            // Streams whose IML ran dry may have new entries now.
+            for sid in 0..self.svbs[core].num_streams() as u8 {
+                let s = &self.svbs[core].streams()[sid as usize];
+                if s.active && s.exhausted {
+                    let src = s.src_core as usize;
+                    if self.imls[src].is_valid(s.next_pos) {
+                        self.svbs[core].stream_mut(sid).exhausted = false;
+                    }
+                }
+            }
+            self.pump_streams(ctx, core);
+        }
+    }
+
+    fn reset_counters(&mut self) {
+        self.lookups = 0;
+        self.failed_lookups = 0;
+        self.streams_allocated = 0;
+        self.issued = 0;
+        self.supplied = 0;
+        self.iml_reads = 0;
+        self.iml_writes = 0;
+        self.timely_supplies = 0;
+        self.late_supplies = 0;
+        self.late_cycles = 0;
+        self.index.reset_counters();
+        for svb in &mut self.svbs {
+            svb.reset_counters();
+        }
+    }
+
+    fn counters(&self) -> Vec<(String, f64)> {
+        let discards: u64 = self.svbs.iter().map(Svb::discards).sum();
+        let svb_hits: u64 = self.svbs.iter().map(Svb::hits).sum();
+        let (idx_updates, idx_drops, idx_invals) = self.index.churn();
+        vec![
+            ("supplied".into(), self.supplied as f64),
+            ("svb_hits".into(), svb_hits as f64),
+            ("discards".into(), discards as f64),
+            ("issued".into(), self.issued as f64),
+            ("lookups".into(), self.lookups as f64),
+            ("failed_lookups".into(), self.failed_lookups as f64),
+            ("streams".into(), self.streams_allocated as f64),
+            ("iml_reads".into(), self.iml_reads as f64),
+            ("timely_supplies".into(), self.timely_supplies as f64),
+            ("late_supplies".into(), self.late_supplies as f64),
+            ("late_cycles".into(), self.late_cycles as f64),
+            ("iml_writes".into(), self.iml_writes as f64),
+            ("index_updates".into(), idx_updates as f64),
+            ("index_drops".into(), idx_drops as f64),
+            ("index_invalidations".into(), idx_invals as f64),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tifs_sim::cmp::Cmp;
+    use tifs_sim::config::SystemConfig;
+    use tifs_sim::prefetch::NullPrefetcher;
+    use tifs_trace::workload::{Workload, WorkloadSpec};
+    use tifs_trace::FetchRecord;
+
+    fn run_with<'a>(
+        workload: &'a Workload,
+        pf: Box<dyn IPrefetcher + 'a>,
+        instrs: u64,
+    ) -> tifs_sim::stats::SimReport {
+        let cfg = SystemConfig::single_core();
+        let streams: Vec<_> = (0..cfg.num_cores)
+            .map(|c| Box::new(workload.walker(c)) as Box<dyn Iterator<Item = FetchRecord>>)
+            .collect();
+        let mut cmp = Cmp::new(cfg, streams, pf);
+        cmp.run(instrs)
+    }
+
+    #[test]
+    fn tifs_covers_misses_on_repetitive_workload() {
+        let w = Workload::build(&WorkloadSpec::web_zeus(), 5);
+        let n = 400_000;
+        let base = run_with(&w, Box::new(NullPrefetcher), n);
+        let tifs = run_with(&w, Box::new(TifsPrefetcher::new(1, TifsConfig::virtualized())), n);
+        assert!(base.cores[0].baseline_misses() > 500);
+        let cov = tifs.cores[0].coverage();
+        assert!(cov > 0.3, "TIFS coverage too low: {cov}");
+        assert!(
+            tifs.aggregate_ipc() > base.aggregate_ipc(),
+            "TIFS must speed up a repetitive workload: {} vs {}",
+            tifs.aggregate_ipc(),
+            base.aggregate_ipc()
+        );
+    }
+
+    #[test]
+    fn virtualized_iml_generates_l2_traffic() {
+        let w = Workload::build(&WorkloadSpec::web_zeus(), 5);
+        let report = run_with(
+            &w,
+            Box::new(TifsPrefetcher::new(1, TifsConfig::virtualized())),
+            300_000,
+        );
+        assert!(report.l2.iml_traffic() > 0, "IML reads/writes must appear");
+        assert!(report.prefetcher_counter("iml_reads").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn dedicated_iml_produces_no_iml_traffic() {
+        let w = Workload::build(&WorkloadSpec::web_zeus(), 5);
+        let report = run_with(
+            &w,
+            Box::new(TifsPrefetcher::new(1, TifsConfig::dedicated())),
+            200_000,
+        );
+        assert_eq!(report.l2.iml_traffic(), 0);
+    }
+
+    #[test]
+    fn unbounded_at_least_as_good_as_bounded() {
+        let w = Workload::build(&WorkloadSpec::web_zeus(), 7);
+        let n = 300_000;
+        let unbounded = run_with(
+            &w,
+            Box::new(TifsPrefetcher::new(1, TifsConfig::unbounded())),
+            n,
+        );
+        let virt = run_with(
+            &w,
+            Box::new(TifsPrefetcher::new(1, TifsConfig::virtualized())),
+            n,
+        );
+        // Allow small noise, but unbounded + dedicated index should not lose.
+        assert!(
+            unbounded.coverage() >= virt.coverage() - 0.05,
+            "unbounded {} vs virtualized {}",
+            unbounded.coverage(),
+            virt.coverage()
+        );
+    }
+
+    #[test]
+    fn iml_region_blocks_are_disjoint_per_core() {
+        let a = TifsPrefetcher::iml_region_block(0, 0);
+        let b = TifsPrefetcher::iml_region_block(1, 0);
+        assert_ne!(a, b);
+        // Consecutive groups map to consecutive blocks.
+        let c0 = TifsPrefetcher::iml_region_block(0, 0);
+        let c1 = TifsPrefetcher::iml_region_block(0, 12);
+        assert_eq!(c1.0 - c0.0, 1);
+    }
+}

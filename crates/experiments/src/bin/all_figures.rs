@@ -1,0 +1,29 @@
+//! Regenerates every table and figure in sequence (the full evaluation).
+
+use tifs_experiments::figures::{
+    fig01, fig03, fig05, fig06, fig10, fig11, fig12, fig13, tables,
+};
+use tifs_experiments::harness::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    println!("TIFS reproduction — full evaluation");
+    println!(
+        "instructions/core: {} (+{} warmup), seed {}\n",
+        cfg.instructions, cfg.warmup, cfg.seed
+    );
+    println!("{}", tables::render_table1(cfg.seed));
+    println!("{}", tables::render_table2());
+    let t = std::time::Instant::now();
+    println!("{}", fig03::render(&fig03::run(&cfg)));
+    println!("{}", fig05::render(&fig05::run(&cfg)));
+    println!("{}", fig06::render(&fig06::run(&cfg)));
+    println!("{}", fig10::render(&fig10::run(&cfg)));
+    println!("{}", fig11::render(&fig11::run(&cfg)));
+    println!("[trace analyses done in {:.0}s]\n", t.elapsed().as_secs_f64());
+    let t = std::time::Instant::now();
+    println!("{}", fig01::render(&fig01::run(&cfg)));
+    println!("{}", fig12::render(&fig12::run(&cfg)));
+    println!("{}", fig13::render(&fig13::run(&cfg)));
+    println!("[timing studies done in {:.0}s]", t.elapsed().as_secs_f64());
+}

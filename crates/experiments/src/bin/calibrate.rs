@@ -1,0 +1,52 @@
+//! Maintenance tool: one-line-per-workload calibration summary against the
+//! paper's targets (miss rate, repetitive fraction, opportunity, median
+//! stream length, Recent-heuristic coverage). Used when retuning the
+//! synthetic workload parameters; see DESIGN.md §1 for the target shapes.
+//!
+//! ```sh
+//! cargo run --release -p tifs-experiments --bin calibrate [instructions]
+//! ```
+
+use tifs_sequitur::categorize::{categorize, CategoryCounts};
+use tifs_sequitur::heuristics::{evaluate_heuristic, Heuristic, HeuristicConfig};
+use tifs_sequitur::streams::stream_occurrences;
+use tifs_sequitur::LengthCdf;
+use tifs_sim::{miss_trace_with_model, SystemConfig};
+use tifs_trace::filter::collapse_sequential;
+use tifs_trace::workload::{Workload, WorkloadSpec};
+
+fn main() {
+    let n: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000_000);
+    let cfg = SystemConfig::table2();
+    for spec in WorkloadSpec::all_six() {
+        let t0 = std::time::Instant::now();
+        let w = Workload::build(&spec, 42);
+        let records: Vec<_> = w.walker(0).take(n as usize).collect();
+        let (miss, model) = miss_trace_with_model(records.iter().copied(), &cfg);
+        let trace: Vec<u64> = miss.iter().map(|b| b.0).collect();
+        let counts = CategoryCounts::from_classes(&categorize(&trace));
+        // Fig 5: collapse sequential then stream lengths
+        let collapsed: Vec<u64> = collapse_sequential(&miss).iter().map(|b| b.0).collect();
+        let cdf = LengthCdf::from_occurrences(&stream_occurrences(&collapsed));
+        let med = cdf.quantile(0.5).unwrap_or(0);
+        // Fig 6: Recent heuristic coverage
+        let recent = evaluate_heuristic(&trace, &HeuristicConfig::new(Heuristic::Recent));
+        let opp = evaluate_heuristic(&trace, &HeuristicConfig::new(Heuristic::Opportunity));
+        let (acc, misses) = model.totals();
+        println!(
+            "{:12} text={:6}KB txn miss/1k-instr={:5.1} missrate={:5.3} misses={:7} rep={:5.3} opp={:5.3} medlen={:4} recent={:5.3} oppcov={:5.3}  [{:.1}s]",
+            spec.name,
+            w.program.text_bytes() / 1024,
+            1000.0 * misses as f64 / n as f64,
+            model.miss_rate(),
+            trace.len(),
+            counts.repetitive_fraction(),
+            counts.fractions()[0],
+            med,
+            recent.coverage(),
+            opp.coverage(),
+            t0.elapsed().as_secs_f64(),
+        );
+        let _ = acc;
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 01 data. Flags: --instructions N --warmup N --seed N.
+
+use tifs_experiments::figures::fig01;
+use tifs_experiments::harness::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let results = fig01::run(&cfg);
+    println!("{}", fig01::render(&results));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 03 data. Flags: --instructions N --warmup N --seed N.
+
+use tifs_experiments::figures::fig03;
+use tifs_experiments::harness::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let results = fig03::run(&cfg);
+    println!("{}", fig03::render(&results));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 05 data. Flags: --instructions N --warmup N --seed N.
+
+use tifs_experiments::figures::fig05;
+use tifs_experiments::harness::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let results = fig05::run(&cfg);
+    println!("{}", fig05::render(&results));
+}

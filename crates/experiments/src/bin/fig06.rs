@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 06 data. Flags: --instructions N --warmup N --seed N.
+
+use tifs_experiments::figures::fig06;
+use tifs_experiments::harness::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let results = fig06::run(&cfg);
+    println!("{}", fig06::render(&results));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 10 data. Flags: --instructions N --warmup N --seed N.
+
+use tifs_experiments::figures::fig10;
+use tifs_experiments::harness::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let results = fig10::run(&cfg);
+    println!("{}", fig10::render(&results));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 11 data. Flags: --instructions N --warmup N --seed N.
+
+use tifs_experiments::figures::fig11;
+use tifs_experiments::harness::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let results = fig11::run(&cfg);
+    println!("{}", fig11::render(&results));
+}

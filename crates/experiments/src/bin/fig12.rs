@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 12 data. Flags: --instructions N --warmup N --seed N.
+
+use tifs_experiments::figures::fig12;
+use tifs_experiments::harness::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let results = fig12::run(&cfg);
+    println!("{}", fig12::render(&results));
+}

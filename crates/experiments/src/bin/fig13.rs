@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 13 data. Flags: --instructions N --warmup N --seed N.
+
+use tifs_experiments::figures::fig13;
+use tifs_experiments::harness::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let results = fig13::run(&cfg);
+    println!("{}", fig13::render(&results));
+}

@@ -1,0 +1,9 @@
+//! Prints Table I (workload suite parameters).
+
+use tifs_experiments::figures::tables;
+use tifs_experiments::harness::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    println!("{}", tables::render_table1(cfg.seed));
+}

@@ -1,0 +1,7 @@
+//! Prints Table II (system parameters).
+
+use tifs_experiments::figures::tables;
+
+fn main() {
+    println!("{}", tables::render_table2());
+}

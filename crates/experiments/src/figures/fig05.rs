@@ -1,0 +1,71 @@
+//! Figure 5 — cumulative distribution of temporal-stream lengths
+//! (sequential misses removed, as with a perfect next-line prefetcher).
+
+use tifs_sequitur::streams::stream_occurrences;
+use tifs_sequitur::LengthCdf;
+use tifs_trace::filter::collapse_sequential;
+use tifs_trace::workload::{Workload, WorkloadSpec};
+
+use crate::harness::{collect_miss_traces, ExpConfig};
+use crate::report::render_table;
+
+/// Per-workload stream-length distribution (cores merged).
+#[derive(Clone, Debug)]
+pub struct StreamLengths {
+    /// Workload name.
+    pub workload: String,
+    /// Merged CDF over opportunity misses.
+    pub cdf: LengthCdf,
+}
+
+/// Runs the Figure 5 analysis.
+pub fn run(cfg: &ExpConfig) -> Vec<StreamLengths> {
+    WorkloadSpec::all_six()
+        .into_iter()
+        .map(|spec| {
+            let workload = Workload::build(&spec, cfg.seed);
+            let traces = collect_miss_traces(&workload, cfg.instructions, 4);
+            let mut occurrences = Vec::new();
+            for t in &traces {
+                let collapsed: Vec<u64> =
+                    collapse_sequential(t).iter().map(|b| b.0).collect();
+                occurrences.extend(stream_occurrences(&collapsed));
+            }
+            StreamLengths {
+                workload: spec.name.to_string(),
+                cdf: LengthCdf::from_occurrences(&occurrences),
+            }
+        })
+        .collect()
+}
+
+/// Renders quantiles of each CDF (the paper reads the median off the
+/// curves; OLTP-Oracle's median is ~80 discontinuous blocks).
+pub fn render(results: &[StreamLengths]) -> String {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let q = |p: f64| {
+                r.cdf
+                    .quantile(p)
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "-".into())
+            };
+            vec![
+                r.workload.clone(),
+                r.cdf.total_opportunity().to_string(),
+                q(0.25),
+                q(0.5),
+                q(0.75),
+                q(0.9),
+            ]
+        })
+        .collect();
+    format!(
+        "Figure 5 — temporal stream length CDF (discontinuous blocks; quantiles by % opportunity)\n{}",
+        render_table(
+            &["workload", "opportunity", "p25", "median", "p75", "p90"],
+            &rows
+        )
+    )
+}

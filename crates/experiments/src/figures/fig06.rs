@@ -1,0 +1,67 @@
+//! Figure 6 — stream lookup heuristics: fraction of misses eliminated by
+//! First / Digram / Recent / Longest, against the Opportunity bound.
+
+use tifs_sequitur::heuristics::{evaluate_heuristic, Heuristic, HeuristicConfig};
+use tifs_trace::workload::{Workload, WorkloadSpec};
+
+use crate::harness::{collect_miss_traces, to_symbol_traces, ExpConfig};
+use crate::report::{pct, render_table};
+
+/// Per-workload heuristic coverages (misses summed across cores).
+#[derive(Clone, Debug)]
+pub struct HeuristicRow {
+    /// Workload name.
+    pub workload: String,
+    /// Coverage per heuristic, in [`Heuristic::ALL`] order.
+    pub coverage: Vec<f64>,
+}
+
+/// Runs the Figure 6 analysis.
+pub fn run(cfg: &ExpConfig) -> Vec<HeuristicRow> {
+    WorkloadSpec::all_six()
+        .into_iter()
+        .map(|spec| {
+            let workload = Workload::build(&spec, cfg.seed);
+            let traces = to_symbol_traces(&collect_miss_traces(&workload, cfg.instructions, 4));
+            let coverage = Heuristic::ALL
+                .iter()
+                .map(|&h| {
+                    let mut eliminated = 0usize;
+                    let mut total = 0usize;
+                    for t in &traces {
+                        let out = evaluate_heuristic(t, &HeuristicConfig::new(h));
+                        eliminated += out.eliminated;
+                        total += out.total_misses;
+                    }
+                    if total == 0 {
+                        0.0
+                    } else {
+                        eliminated as f64 / total as f64
+                    }
+                })
+                .collect();
+            HeuristicRow {
+                workload: spec.name.to_string(),
+                coverage,
+            }
+        })
+        .collect()
+}
+
+/// Renders the heuristic comparison.
+pub fn render(results: &[HeuristicRow]) -> String {
+    let mut headers = vec!["workload"];
+    headers.extend(Heuristic::ALL.iter().map(|h| h.name()));
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.workload.clone()];
+            row.extend(r.coverage.iter().map(|&c| pct(c)));
+            row
+        })
+        .collect();
+    format!(
+        "Figure 6 — fraction of misses eliminable per stream-lookup heuristic\n{}",
+        render_table(&headers, &rows)
+    )
+}

@@ -1,0 +1,109 @@
+//! Figure 10 — limited lookahead of fetch-directed prefetching: the
+//! number of correct non-inner-loop branch predictions a
+//! branch-predictor-directed prefetcher must make to predict the next
+//! *four* instruction-cache misses.
+//!
+//! For each miss, we count conditional branches outside innermost loops
+//! between that miss and the fourth subsequent miss. The paper finds that
+//! for roughly a quarter of misses, more than 16 such branches are needed.
+
+use tifs_sim::config::SystemConfig;
+use tifs_sim::miss_trace::FunctionalFetchModel;
+use tifs_trace::workload::{Workload, WorkloadSpec};
+use tifs_trace::BranchKind;
+
+use crate::harness::ExpConfig;
+use crate::report::{pct, render_table};
+
+/// Distribution of branches-per-4-miss-lookahead for one workload.
+#[derive(Clone, Debug)]
+pub struct LookaheadDist {
+    /// Workload name.
+    pub workload: String,
+    /// Sorted branch counts (one per miss).
+    pub counts: Vec<u32>,
+}
+
+impl LookaheadDist {
+    /// Quantile of the distribution.
+    pub fn quantile(&self, q: f64) -> u32 {
+        if self.counts.is_empty() {
+            return 0;
+        }
+        let idx = ((self.counts.len() - 1) as f64 * q).round() as usize;
+        self.counts[idx]
+    }
+
+    /// Fraction of misses needing more than `threshold` branch
+    /// predictions for a 4-miss lookahead.
+    pub fn fraction_above(&self, threshold: u32) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        let above = self.counts.iter().filter(|&&c| c > threshold).count();
+        above as f64 / self.counts.len() as f64
+    }
+}
+
+/// Misses of lookahead to aggregate over (the paper uses four).
+pub const LOOKAHEAD_MISSES: usize = 4;
+
+/// Runs the Figure 10 analysis (core 0's stream per workload).
+pub fn run(cfg: &ExpConfig) -> Vec<LookaheadDist> {
+    let sys = SystemConfig::table2();
+    WorkloadSpec::all_six()
+        .into_iter()
+        .map(|spec| {
+            let workload = Workload::build(&spec, cfg.seed);
+            let mut model = FunctionalFetchModel::new(&sys);
+            // Cumulative non-inner-loop conditional-branch count at each
+            // miss position.
+            let mut branch_cum: u64 = 0;
+            let mut miss_marks: Vec<u64> = Vec::new();
+            for rec in workload.walker(0).take(cfg.instructions as usize) {
+                if model.access_pc(rec.pc).is_some() {
+                    miss_marks.push(branch_cum);
+                }
+                if let Some(b) = rec.branch {
+                    if b.kind == BranchKind::Conditional && !b.inner_loop {
+                        branch_cum += 1;
+                    }
+                }
+            }
+            let mut counts: Vec<u32> = miss_marks
+                .windows(LOOKAHEAD_MISSES + 1)
+                .map(|w| (w[LOOKAHEAD_MISSES] - w[0]) as u32)
+                .collect();
+            counts.sort_unstable();
+            LookaheadDist {
+                workload: spec.name.to_string(),
+                counts,
+            }
+        })
+        .collect()
+}
+
+/// Renders quantiles and the paper's ">16 branches" headline fraction.
+pub fn render(results: &[LookaheadDist]) -> String {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.counts.len().to_string(),
+                r.quantile(0.25).to_string(),
+                r.quantile(0.5).to_string(),
+                r.quantile(0.75).to_string(),
+                r.quantile(0.9).to_string(),
+                pct(r.fraction_above(16)),
+            ]
+        })
+        .collect();
+    format!(
+        "Figure 10 — non-inner-loop branch predictions needed for a 4-miss lookahead\n{}",
+        render_table(
+            &["workload", "misses", "p25", "median", "p75", "p90", ">16 branches"],
+            &rows
+        )
+    )
+}

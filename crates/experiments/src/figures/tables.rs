@@ -1,0 +1,55 @@
+//! Tables I and II — workload and system parameters.
+
+use tifs_sim::config::SystemConfig;
+use tifs_trace::workload::{Workload, WorkloadSpec};
+
+use crate::report::render_table;
+
+/// Renders Table I: the synthetic workload suite, with the generated
+/// instruction footprints (the paper's table lists the commercial setups
+/// these mirror).
+pub fn render_table1(seed: u64) -> String {
+    let rows: Vec<Vec<String>> = WorkloadSpec::all_six()
+        .into_iter()
+        .map(|spec| {
+            let w = Workload::build(&spec, seed);
+            vec![
+                spec.name.to_string(),
+                format!("{:?}", spec.class),
+                format!("{} KB", w.program.text_bytes() / 1024),
+                spec.n_txn_types.to_string(),
+                spec.path_len.to_string(),
+                spec.divergence_every.to_string(),
+                format!("{}", spec.trap_period),
+            ]
+        })
+        .collect();
+    format!(
+        "Table I — synthetic commercial workload suite (seed {seed})\n{}",
+        render_table(
+            &[
+                "workload",
+                "class",
+                "text",
+                "txn types",
+                "path len",
+                "diverge every",
+                "trap period"
+            ],
+            &rows
+        )
+    )
+}
+
+/// Renders Table II: system parameters.
+pub fn render_table2() -> String {
+    let rows: Vec<Vec<String>> = SystemConfig::table2()
+        .table_rows()
+        .into_iter()
+        .map(|(k, v)| vec![k, v])
+        .collect();
+    format!(
+        "Table II — system parameters\n{}",
+        render_table(&["component", "configuration"], &rows)
+    )
+}

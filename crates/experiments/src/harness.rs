@@ -1,0 +1,249 @@
+//! Shared experiment harness: system construction, timing runs, and
+//! functional trace collection.
+
+use tifs_core::{TifsConfig, TifsPrefetcher};
+use tifs_prefetch::{
+    DiscontinuityConfig, DiscontinuityPrefetcher, Fdip, FdipConfig, ProbabilisticPrefetcher,
+};
+use tifs_sim::cmp::Cmp;
+use tifs_sim::config::SystemConfig;
+use tifs_sim::miss_trace::miss_trace_with_model;
+use tifs_sim::prefetch::{IPrefetcher, NullPrefetcher};
+use tifs_sim::stats::SimReport;
+use tifs_trace::workload::Workload;
+use tifs_trace::{BlockAddr, FetchRecord};
+
+/// Common experiment parameters (overridable from the command line).
+#[derive(Clone, Copy, Debug)]
+pub struct ExpConfig {
+    /// Measured instructions per core.
+    pub instructions: u64,
+    /// Warmup instructions per core (caches, predictors, IMLs).
+    pub warmup: u64,
+    /// Workload generation seed.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            instructions: 1_000_000,
+            warmup: 1_000_000,
+            seed: 42,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Parses `--instructions N`, `--warmup N`, `--seed N` from argv;
+    /// unknown arguments are ignored so binaries can add their own.
+    pub fn from_args() -> ExpConfig {
+        let mut cfg = ExpConfig::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i + 1 < args.len() {
+            let value = || args[i + 1].replace('_', "").parse::<u64>();
+            match args[i].as_str() {
+                "--instructions" | "-n" => {
+                    if let Ok(v) = value() {
+                        cfg.instructions = v;
+                    }
+                }
+                "--warmup" | "-w" => {
+                    if let Ok(v) = value() {
+                        cfg.warmup = v;
+                    }
+                }
+                "--seed" | "-s" => {
+                    if let Ok(v) = value() {
+                        cfg.seed = v;
+                    }
+                }
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            }
+            i += 2;
+        }
+        cfg
+    }
+}
+
+/// The systems compared across the paper's evaluation (Figure 13 bars).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SystemKind {
+    /// Base system: next-line instruction prefetcher only.
+    NextLine,
+    /// Fetch-directed instruction prefetching \[24\].
+    Fdip,
+    /// Discontinuity prefetcher \[31\] (extension baseline).
+    Discontinuity,
+    /// TIFS with unbounded IMLs and dedicated index.
+    TifsUnbounded,
+    /// TIFS with 156 KB dedicated IML SRAM.
+    TifsDedicated,
+    /// TIFS with 156 KB virtualized IML storage (the proposed design).
+    TifsVirtualized,
+    /// Probabilistic prefetcher with the given coverage (Figure 1).
+    Probabilistic(f64),
+    /// Perfect, timely instruction prefetcher (upper bound).
+    Perfect,
+}
+
+impl SystemKind {
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> String {
+        match self {
+            SystemKind::NextLine => "Next-line".into(),
+            SystemKind::Fdip => "FDIP".into(),
+            SystemKind::Discontinuity => "Discontinuity".into(),
+            SystemKind::TifsUnbounded => "TIFS-unbounded".into(),
+            SystemKind::TifsDedicated => "TIFS-dedicated".into(),
+            SystemKind::TifsVirtualized => "TIFS-virtualized".into(),
+            SystemKind::Probabilistic(p) => format!("Prob({:.0}%)", p * 100.0),
+            SystemKind::Perfect => "Perfect".into(),
+        }
+    }
+
+    /// The Figure 13 bar set.
+    pub fn figure13() -> Vec<SystemKind> {
+        vec![
+            SystemKind::Fdip,
+            SystemKind::Discontinuity,
+            SystemKind::TifsUnbounded,
+            SystemKind::TifsDedicated,
+            SystemKind::TifsVirtualized,
+            SystemKind::Perfect,
+        ]
+    }
+}
+
+/// Builds the prefetcher for a system over a given workload.
+fn build_prefetcher<'a>(
+    kind: SystemKind,
+    workload: &'a Workload,
+    sys: &SystemConfig,
+    seed: u64,
+) -> Box<dyn IPrefetcher + 'a> {
+    match kind {
+        SystemKind::NextLine => Box::new(NullPrefetcher),
+        SystemKind::Fdip => Box::new(Fdip::new(
+            &workload.program,
+            sys.num_cores,
+            FdipConfig::default(),
+        )),
+        SystemKind::Discontinuity => Box::new(DiscontinuityPrefetcher::new(
+            sys.num_cores,
+            DiscontinuityConfig::default(),
+        )),
+        SystemKind::TifsUnbounded => {
+            Box::new(TifsPrefetcher::new(sys.num_cores, TifsConfig::unbounded()))
+        }
+        SystemKind::TifsDedicated => {
+            Box::new(TifsPrefetcher::new(sys.num_cores, TifsConfig::dedicated()))
+        }
+        SystemKind::TifsVirtualized => Box::new(TifsPrefetcher::new(
+            sys.num_cores,
+            TifsConfig::virtualized(),
+        )),
+        SystemKind::Probabilistic(p) => Box::new(ProbabilisticPrefetcher::new(p, seed ^ 0x9D)),
+        SystemKind::Perfect => Box::new(ProbabilisticPrefetcher::perfect(seed ^ 0x9D)),
+    }
+}
+
+/// Runs one system on one workload with the paper's Table II CMP,
+/// returning the measured-phase report.
+pub fn run_system(workload: &Workload, kind: SystemKind, cfg: &ExpConfig) -> SimReport {
+    run_system_with(workload, kind, cfg, &SystemConfig::table2())
+}
+
+/// As [`run_system`], with an explicit system configuration.
+pub fn run_system_with(
+    workload: &Workload,
+    kind: SystemKind,
+    cfg: &ExpConfig,
+    sys: &SystemConfig,
+) -> SimReport {
+    let streams: Vec<_> = (0..sys.num_cores)
+        .map(|c| Box::new(workload.walker(c)) as Box<dyn Iterator<Item = FetchRecord>>)
+        .collect();
+    let pf = build_prefetcher(kind, workload, sys, cfg.seed);
+    let mut cmp = Cmp::new(sys.clone(), streams, pf);
+    cmp.run_with_warmup(cfg.warmup, cfg.instructions)
+}
+
+/// Collects per-core L1-I miss traces (functional model, paper Section
+/// 4.1 miss definition) of `instructions` per core.
+pub fn collect_miss_traces(
+    workload: &Workload,
+    instructions: u64,
+    cores: usize,
+) -> Vec<Vec<BlockAddr>> {
+    let sys = SystemConfig::table2();
+    (0..cores)
+        .map(|c| {
+            let records = workload.walker(c).take(instructions as usize);
+            let (trace, _) = miss_trace_with_model(records, &sys);
+            trace
+        })
+        .collect()
+}
+
+/// Converts per-core miss traces to `u64` symbol vectors for the
+/// SEQUITUR analyses.
+pub fn to_symbol_traces(traces: &[Vec<BlockAddr>]) -> Vec<Vec<u64>> {
+    traces
+        .iter()
+        .map(|t| t.iter().map(|b| b.0).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tifs_trace::workload::WorkloadSpec;
+
+    #[test]
+    fn run_system_produces_report() {
+        let w = Workload::build(&WorkloadSpec::tiny_test(), 3);
+        let cfg = ExpConfig {
+            instructions: 5_000,
+            warmup: 5_000,
+            seed: 3,
+        };
+        let sys = SystemConfig::single_core();
+        let r = run_system_with(&w, SystemKind::NextLine, &cfg, &sys);
+        assert_eq!(r.total_retired(), 5_000);
+        assert!(r.aggregate_ipc() > 0.0);
+    }
+
+    #[test]
+    fn all_system_kinds_build() {
+        let w = Workload::build(&WorkloadSpec::tiny_test(), 3);
+        let sys = SystemConfig::single_core();
+        for kind in [
+            SystemKind::NextLine,
+            SystemKind::Fdip,
+            SystemKind::Discontinuity,
+            SystemKind::TifsUnbounded,
+            SystemKind::TifsDedicated,
+            SystemKind::TifsVirtualized,
+            SystemKind::Probabilistic(0.5),
+            SystemKind::Perfect,
+        ] {
+            let pf = build_prefetcher(kind, &w, &sys, 1);
+            assert!(!pf.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn miss_traces_per_core() {
+        let w = Workload::build(&WorkloadSpec::tiny_test(), 3);
+        let traces = collect_miss_traces(&w, 30_000, 2);
+        assert_eq!(traces.len(), 2);
+        assert!(traces.iter().all(|t| !t.is_empty()));
+        let syms = to_symbol_traces(&traces);
+        assert_eq!(syms[0].len(), traces[0].len());
+    }
+}

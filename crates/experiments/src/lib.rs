@@ -1,0 +1,25 @@
+//! Experiment drivers reproducing every table and figure of the TIFS
+//! paper's evaluation (MICRO 2008).
+//!
+//! Each figure has a module under [`figures`] exposing `run` (structured
+//! results) and `render` (the paper-style table), and a binary
+//! (`fig01`…`fig13`, `table1`, `table2`, `all_figures`) that prints it.
+//! Common machinery lives in [`harness`] (system construction, timing
+//! runs, trace collection) and [`report`] (tables, regression).
+//!
+//! ```no_run
+//! use tifs_experiments::harness::{run_system, ExpConfig, SystemKind};
+//! use tifs_trace::workload::{Workload, WorkloadSpec};
+//!
+//! let cfg = ExpConfig::default();
+//! let w = Workload::build(&WorkloadSpec::oltp_oracle(), cfg.seed);
+//! let base = run_system(&w, SystemKind::NextLine, &cfg);
+//! let tifs = run_system(&w, SystemKind::TifsVirtualized, &cfg);
+//! println!("speedup {:.3}", tifs.aggregate_ipc() / base.aggregate_ipc());
+//! ```
+
+pub mod figures;
+pub mod harness;
+pub mod report;
+
+pub use harness::{collect_miss_traces, run_system, to_symbol_traces, ExpConfig, SystemKind};

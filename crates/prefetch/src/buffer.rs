@@ -1,0 +1,139 @@
+//! Fully-associative prefetch buffer with LRU replacement.
+//!
+//! Shared by FDIP and the discontinuity prefetcher (the paper grants FDIP a
+//! fully-associative buffer "as the SVB is fully-associative", Section 6.5).
+//! Entries carry the cycle their fill completes; a block evicted before any
+//! use is a *discard* (wasted prefetch).
+
+use tifs_trace::BlockAddr;
+
+/// One buffered prefetch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Entry {
+    block: BlockAddr,
+    ready: u64,
+}
+
+/// Fully-associative LRU buffer of prefetched instruction blocks.
+#[derive(Clone, Debug)]
+pub struct PrefetchBuffer {
+    entries: Vec<Entry>,
+    capacity: usize,
+    discards: u64,
+    hits: u64,
+}
+
+impl PrefetchBuffer {
+    /// Creates a buffer holding `capacity` blocks (32 x 64 B = the paper's
+    /// 2 KB SVB-equivalent).
+    pub fn new(capacity: usize) -> PrefetchBuffer {
+        assert!(capacity > 0, "buffer needs capacity");
+        PrefetchBuffer {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            discards: 0,
+            hits: 0,
+        }
+    }
+
+    /// Whether `block` is buffered (no LRU update).
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.entries.iter().any(|e| e.block == block)
+    }
+
+    /// Inserts a prefetched block arriving at `ready`. Duplicate inserts
+    /// refresh recency but keep the earlier arrival time. Evicting a
+    /// never-used entry counts a discard.
+    pub fn insert(&mut self, block: BlockAddr, ready: u64) {
+        if let Some(pos) = self.entries.iter().position(|e| e.block == block) {
+            let mut e = self.entries.remove(pos);
+            e.ready = e.ready.min(ready);
+            self.entries.insert(0, e);
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop();
+            self.discards += 1;
+        }
+        self.entries.insert(0, Entry { block, ready });
+    }
+
+    /// Consumes `block` if buffered, returning its fill-ready cycle.
+    pub fn take(&mut self, block: BlockAddr) -> Option<u64> {
+        let pos = self.entries.iter().position(|e| e.block == block)?;
+        let e = self.entries.remove(pos);
+        self.hits += 1;
+        Some(e.ready)
+    }
+
+    /// Buffered block count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Blocks evicted without ever being used.
+    pub fn discards(&self) -> u64 {
+        self.discards
+    }
+
+    /// Successful supplies.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Zeroes hit/discard counters (warmup discard).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.discards = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_consumes() {
+        let mut b = PrefetchBuffer::new(4);
+        b.insert(BlockAddr(1), 10);
+        assert_eq!(b.take(BlockAddr(1)), Some(10));
+        assert_eq!(b.take(BlockAddr(1)), None, "consumed");
+        assert_eq!(b.hits(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_counts_discards() {
+        let mut b = PrefetchBuffer::new(2);
+        b.insert(BlockAddr(1), 0);
+        b.insert(BlockAddr(2), 0);
+        b.insert(BlockAddr(3), 0); // evicts 1
+        assert!(!b.contains(BlockAddr(1)));
+        assert_eq!(b.discards(), 1);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_earliest_arrival() {
+        let mut b = PrefetchBuffer::new(2);
+        b.insert(BlockAddr(5), 100);
+        b.insert(BlockAddr(5), 50);
+        assert_eq!(b.take(BlockAddr(5)), Some(50));
+        assert_eq!(b.discards(), 0);
+    }
+
+    #[test]
+    fn recency_promotion() {
+        let mut b = PrefetchBuffer::new(2);
+        b.insert(BlockAddr(1), 0);
+        b.insert(BlockAddr(2), 0);
+        b.insert(BlockAddr(1), 0); // promote 1
+        b.insert(BlockAddr(3), 0); // evicts 2
+        assert!(b.contains(BlockAddr(1)));
+        assert!(!b.contains(BlockAddr(2)));
+    }
+}

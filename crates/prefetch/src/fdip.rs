@@ -1,0 +1,423 @@
+//! Fetch-Directed Instruction Prefetching (FDIP), Reinman, Calder & Austin
+//! (MICRO 1999), with the TIFS paper's tuning adjustments (Section 6.5):
+//!
+//! * exploration proceeds up to **96 instructions** ahead of the fetch
+//!   unit, but at most **6 branches** ahead;
+//! * the prefetch buffer is **fully associative** (like the SVB);
+//! * L1 tag-port bandwidth for residency probes is unlimited ("no impact
+//!   on fetch") — modelled as an exact L1 mirror consulted before issuing.
+//!
+//! The exploration engine decodes the static program image along the path
+//! the branch predictor predicts, enqueueing the blocks it crosses. When
+//! the committed stream diverges from the explored path (a misprediction),
+//! the explored path is discarded and exploration restarts at the resolved
+//! PC — the restart cost that limits FDIP on hammock-heavy code (paper
+//! Section 3.2).
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use tifs_sim::bpred::{HybridPredictor, ReturnAddressStack, TargetBuffer};
+use tifs_sim::cache::SetAssocCache;
+use tifs_sim::l2::L2ReqKind;
+use tifs_sim::prefetch::{FetchKind, IPrefetcher, PrefetchCtx};
+use tifs_trace::program::{CalleeSpec, Program, StaticOp};
+use tifs_trace::{Addr, BlockAddr, BranchKind, FetchRecord};
+
+use crate::buffer::PrefetchBuffer;
+
+/// FDIP tuning parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FdipConfig {
+    /// Maximum instructions explored beyond the fetch unit (paper: 96).
+    pub max_instrs_ahead: usize,
+    /// Maximum branches explored beyond the fetch unit (paper: 6).
+    pub max_branches_ahead: usize,
+    /// Prefetch buffer capacity in blocks (2 KB = 32, matching the SVB).
+    pub buffer_blocks: usize,
+    /// Instructions explored per cycle (at most one branch per cycle).
+    pub explore_per_cycle: usize,
+}
+
+impl Default for FdipConfig {
+    fn default() -> Self {
+        FdipConfig {
+            max_instrs_ahead: 96,
+            max_branches_ahead: 6,
+            buffer_blocks: 32,
+            explore_per_cycle: 4,
+        }
+    }
+}
+
+struct FdipCore {
+    // Committed-side predictor state (trained at fetch).
+    bpred: HybridPredictor,
+    ras: ReturnAddressStack,
+    btb: TargetBuffer,
+    l1_mirror: SetAssocCache,
+    // Speculative exploration state.
+    explore_pc: Option<Addr>,
+    spec_history: u64,
+    spec_ras: ReturnAddressStack,
+    path: VecDeque<(Addr, bool)>,
+    branches_in_path: usize,
+    last_explored_block: Option<BlockAddr>,
+    restart_pending: bool,
+    // Prefetched blocks.
+    buffer: PrefetchBuffer,
+    inflight: HashMap<BlockAddr, u64>,
+    // Counters.
+    issued: u64,
+    supplied: u64,
+    restarts: u64,
+}
+
+impl FdipCore {
+    fn new(cfg: &FdipConfig) -> FdipCore {
+        FdipCore {
+            bpred: HybridPredictor::table2(),
+            ras: ReturnAddressStack::new(32),
+            btb: TargetBuffer::new(4096),
+            l1_mirror: SetAssocCache::new(64 * 1024, 2),
+            explore_pc: None,
+            spec_history: 0,
+            spec_ras: ReturnAddressStack::new(32),
+            path: VecDeque::new(),
+            branches_in_path: 0,
+            last_explored_block: None,
+            restart_pending: true,
+            buffer: PrefetchBuffer::new(cfg.buffer_blocks),
+            inflight: HashMap::new(),
+            issued: 0,
+            supplied: 0,
+            restarts: 0,
+        }
+    }
+
+    fn restart_from(&mut self, pc: Addr) {
+        self.explore_pc = Some(pc);
+        self.spec_history = self.bpred.history();
+        self.spec_ras = self.ras.clone();
+        self.path.clear();
+        self.branches_in_path = 0;
+        self.last_explored_block = None;
+        self.restarts += 1;
+    }
+
+    fn train(&mut self, rec: &FetchRecord) {
+        if let Some(b) = rec.branch {
+            match b.kind {
+                BranchKind::Conditional => self.bpred.update(rec.pc, b.taken),
+                BranchKind::Jump => self.btb.update(rec.pc, b.target),
+                BranchKind::Call => {
+                    self.ras.push(rec.fall_through());
+                    self.btb.update(rec.pc, b.target);
+                }
+                BranchKind::Return => {
+                    let _ = self.ras.pop();
+                }
+            }
+        }
+    }
+}
+
+/// The FDIP prefetcher for a whole CMP (one exploration engine per core).
+pub struct Fdip<'p> {
+    program: &'p Program,
+    cfg: FdipConfig,
+    cores: Vec<FdipCore>,
+}
+
+impl<'p> Fdip<'p> {
+    /// Creates FDIP over the program image shared by all `num_cores` cores.
+    pub fn new(program: &'p Program, num_cores: usize, cfg: FdipConfig) -> Fdip<'p> {
+        Fdip {
+            program,
+            cfg,
+            cores: (0..num_cores).map(|_| FdipCore::new(&cfg)).collect(),
+        }
+    }
+
+    /// Explores one instruction; returns `false` when exploration must
+    /// pause (limits, unpredictable target, unmapped PC).
+    fn explore_step(
+        core: &mut FdipCore,
+        program: &Program,
+        ctx: &mut PrefetchCtx<'_>,
+    ) -> ExploreOutcome {
+        let Some(pc) = core.explore_pc else {
+            return ExploreOutcome::Paused;
+        };
+        let Some(iref) = program.decode(pc) else {
+            core.explore_pc = None;
+            return ExploreOutcome::Paused;
+        };
+        // Prefetch the block the exploration crosses into.
+        let block = pc.block();
+        if core.last_explored_block != Some(block) {
+            core.last_explored_block = Some(block);
+            if !core.l1_mirror.peek(block)
+                && !core.buffer.contains(block)
+                && !core.inflight.contains_key(&block)
+            {
+                if let Some(resp) = ctx.l2.request(ctx.now, block, L2ReqKind::IPrefetch, None) {
+                    core.inflight.insert(block, resp.ready);
+                    core.issued += 1;
+                }
+            }
+        }
+
+        let func = iref.func;
+        let op = &program.function(func).ops[iref.idx as usize];
+        let mut counted_branch = false;
+        let next: Option<Addr> = match op {
+            StaticOp::Plain { .. } => Some(pc.add_instrs(1)),
+            StaticOp::CondBranch { target, .. } => {
+                counted_branch = true;
+                let taken = core.bpred.predict_with_history(pc, core.spec_history);
+                core.spec_history = (core.spec_history << 1) | u64::from(taken);
+                if taken {
+                    Some(program.addr_of(func, *target))
+                } else {
+                    Some(pc.add_instrs(1))
+                }
+            }
+            StaticOp::Jump { target } => Some(program.addr_of(func, *target)),
+            StaticOp::Call(spec) => {
+                core.spec_ras.push(pc.add_instrs(1));
+                match spec {
+                    CalleeSpec::Direct(c) => Some(program.function(*c).base),
+                    // Indirect target: only the BTB can guess it.
+                    CalleeSpec::Indirect(_) => core.btb.predict(pc),
+                }
+            }
+            StaticOp::Return => core.spec_ras.pop(),
+        };
+        core.path.push_back((pc, counted_branch));
+        if counted_branch {
+            core.branches_in_path += 1;
+        }
+        core.explore_pc = next;
+        if next.is_none() {
+            return ExploreOutcome::Paused;
+        }
+        if counted_branch {
+            ExploreOutcome::Branch
+        } else {
+            ExploreOutcome::Plain
+        }
+    }
+}
+
+enum ExploreOutcome {
+    Plain,
+    Branch,
+    Paused,
+}
+
+impl IPrefetcher for Fdip<'_> {
+    fn name(&self) -> &'static str {
+        "fdip"
+    }
+
+    fn on_fetch_instr(&mut self, _ctx: &mut PrefetchCtx<'_>, rec: &FetchRecord) {
+        let core = &mut self.cores[_ctx.core];
+        core.train(rec);
+
+        // Synchronize exploration with the committed stream.
+        match core.path.front().copied() {
+            Some((pc, counted)) if pc == rec.pc => {
+                core.path.pop_front();
+                if counted {
+                    core.branches_in_path -= 1;
+                }
+            }
+            _ => {
+                // Divergence (misprediction) or drained path: restart at the
+                // committed successor. After a trap the successor is
+                // unpredictable; wait for the next committed instruction.
+                if rec.trap {
+                    core.path.clear();
+                    core.branches_in_path = 0;
+                    core.explore_pc = None;
+                    core.restart_pending = true;
+                } else {
+                    let next = match rec.branch {
+                        Some(b) if b.taken => b.target,
+                        _ => rec.fall_through(),
+                    };
+                    core.restart_from(next);
+                }
+                return;
+            }
+        }
+        if core.restart_pending {
+            core.restart_pending = false;
+            let next = match rec.branch {
+                Some(b) if b.taken => b.target,
+                _ => rec.fall_through(),
+            };
+            core.restart_from(next);
+        } else if rec.trap {
+            core.path.clear();
+            core.branches_in_path = 0;
+            core.explore_pc = None;
+            core.restart_pending = true;
+        }
+    }
+
+    fn on_block_fetch(
+        &mut self,
+        ctx: &mut PrefetchCtx<'_>,
+        block: BlockAddr,
+        kind: FetchKind,
+    ) -> Option<u64> {
+        let core = &mut self.cores[ctx.core];
+        // Mirror the L1's view (demand fill + next-line fills).
+        for d in 0..=4u64 {
+            core.l1_mirror.insert(block.offset(d));
+        }
+        if kind == FetchKind::L1Hit {
+            return None;
+        }
+        if let Some(ready) = core.buffer.take(block) {
+            core.supplied += 1;
+            return Some(ready.max(ctx.now));
+        }
+        if let Some(ready) = core.inflight.remove(&block) {
+            core.supplied += 1;
+            return Some(ready.max(ctx.now));
+        }
+        None
+    }
+
+    fn tick(&mut self, ctx: &mut PrefetchCtx<'_>) {
+        for i in 0..self.cores.len() {
+            // Drain completed prefetches into the buffer.
+            {
+                let core = &mut self.cores[i];
+                let done: Vec<BlockAddr> = core
+                    .inflight
+                    .iter()
+                    .filter(|&(_, &r)| r <= ctx.now)
+                    .map(|(&b, _)| b)
+                    .collect();
+                for b in done {
+                    let r = core.inflight.remove(&b).expect("present");
+                    core.buffer.insert(b, r);
+                }
+            }
+            // Explore ahead: up to explore_per_cycle instructions, one
+            // branch per cycle, within the instruction/branch windows.
+            let mut steps = 0;
+            loop {
+                let core = &mut self.cores[i];
+                if steps >= self.cfg.explore_per_cycle
+                    || core.path.len() >= self.cfg.max_instrs_ahead
+                    || core.branches_in_path >= self.cfg.max_branches_ahead
+                {
+                    break;
+                }
+                let mut sub = PrefetchCtx {
+                    now: ctx.now,
+                    core: i,
+                    l2: ctx.l2,
+                };
+                match Self::explore_step(&mut self.cores[i], self.program, &mut sub) {
+                    ExploreOutcome::Plain => steps += 1,
+                    ExploreOutcome::Branch => break, // one branch per cycle
+                    ExploreOutcome::Paused => break,
+                }
+            }
+        }
+    }
+
+    fn reset_counters(&mut self) {
+        for c in &mut self.cores {
+            c.issued = 0;
+            c.supplied = 0;
+            c.restarts = 0;
+            c.buffer.reset_counters();
+        }
+    }
+
+    fn counters(&self) -> Vec<(String, f64)> {
+        let issued: u64 = self.cores.iter().map(|c| c.issued).sum();
+        let supplied: u64 = self.cores.iter().map(|c| c.supplied).sum();
+        let restarts: u64 = self.cores.iter().map(|c| c.restarts).sum();
+        let discards: u64 = self.cores.iter().map(|c| c.buffer.discards()).sum();
+        vec![
+            ("issued".into(), issued as f64),
+            ("supplied".into(), supplied as f64),
+            ("restarts".into(), restarts as f64),
+            ("discards".into(), discards as f64),
+        ]
+    }
+}
+
+impl std::fmt::Debug for Fdip<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fdip").field("cores", &self.cores.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tifs_sim::cmp::Cmp;
+    use tifs_sim::config::SystemConfig;
+    use tifs_sim::prefetch::NullPrefetcher;
+    use tifs_trace::workload::{Workload, WorkloadSpec};
+
+    fn run_with<'a>(
+        workload: &'a Workload,
+        pf: Box<dyn IPrefetcher + 'a>,
+        instrs: u64,
+    ) -> tifs_sim::stats::SimReport {
+        let cfg = SystemConfig::single_core();
+        let streams: Vec<_> = (0..cfg.num_cores)
+            .map(|c| Box::new(workload.walker(c)) as Box<dyn Iterator<Item = FetchRecord>>)
+            .collect();
+        let mut cmp = Cmp::new(cfg, streams, pf);
+        cmp.run(instrs)
+    }
+
+    #[test]
+    fn fdip_supplies_blocks_and_reduces_misses() {
+        // Use a large-footprint workload so L1-I misses exist.
+        let w = Workload::build(&WorkloadSpec::web_zeus(), 5);
+        let n = 300_000;
+        let base = run_with(&w, Box::new(NullPrefetcher), n);
+        let fdip = run_with(
+            &w,
+            Box::new(Fdip::new(&w.program, 1, FdipConfig::default())),
+            n,
+        );
+        let base_misses = base.cores[0].baseline_misses();
+        assert!(base_misses > 100, "workload must miss: {base_misses}");
+        let coverage = fdip.cores[0].coverage();
+        assert!(
+            coverage > 0.1,
+            "FDIP must cover some misses, got {coverage}"
+        );
+        assert!(
+            fdip.aggregate_ipc() >= base.aggregate_ipc() * 0.98,
+            "FDIP should not slow the machine: {} vs {}",
+            fdip.aggregate_ipc(),
+            base.aggregate_ipc()
+        );
+    }
+
+    #[test]
+    fn fdip_restarts_on_divergence() {
+        let w = Workload::build(&WorkloadSpec::tiny_test(), 3);
+        let report = run_with(
+            &w,
+            Box::new(Fdip::new(&w.program, 1, FdipConfig::default())),
+            100_000,
+        );
+        let restarts = report.prefetcher_counter("restarts").unwrap_or(0.0);
+        assert!(restarts > 0.0, "data-dependent branches must force restarts");
+    }
+}

@@ -1,0 +1,318 @@
+//! Suffix array, LCP array, and O(1) longest-common-extension queries.
+//!
+//! The stream lookup-heuristic replay (paper Figure 6) repeatedly asks "how
+//! far does the miss sequence starting at position *i* match the sequence
+//! that followed an earlier occurrence at position *p*?". That is a
+//! longest-common-extension (LCE) query. We answer it in O(1) after an
+//! O(n log n) preprocessing pass:
+//!
+//! * suffix array by prefix doubling,
+//! * LCP array by Kasai's algorithm,
+//! * range-minimum over LCP with a two-level (block + sparse-table) scheme
+//!   whose memory stays linear in the trace length.
+
+use std::fmt;
+
+/// Precomputed index over a symbol trace answering longest-common-extension
+/// queries in O(1).
+///
+/// # Example
+///
+/// ```
+/// use tifs_sequitur::LceIndex;
+///
+/// let trace = [1u64, 2, 3, 9, 1, 2, 3, 7];
+/// let idx = LceIndex::new(&trace);
+/// assert_eq!(idx.lce(0, 4), 3); // "1 2 3" matches, then 9 != 7
+/// assert_eq!(idx.lce(2, 6), 1); // "3" matches, then 9 != 7
+/// assert_eq!(idx.lce(3, 3), trace.len() - 3); // identical suffixes
+/// ```
+pub struct LceIndex {
+    n: usize,
+    /// rank[i] = position of suffix i in the suffix array.
+    rank: Vec<u32>,
+    /// Range-minimum structure over the LCP array.
+    rmq: BlockRmq,
+}
+
+impl fmt::Debug for LceIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LceIndex").field("n", &self.n).finish()
+    }
+}
+
+impl LceIndex {
+    /// Builds the index for `trace`. Cost: O(n log n) time, O(n) memory.
+    pub fn new(trace: &[u64]) -> LceIndex {
+        let n = trace.len();
+        let sa = suffix_array(trace);
+        let mut rank = vec![0u32; n];
+        for (k, &s) in sa.iter().enumerate() {
+            rank[s as usize] = k as u32;
+        }
+        let lcp = kasai(trace, &sa, &rank);
+        let rmq = BlockRmq::new(&lcp);
+        LceIndex { n, rank, rmq }
+    }
+
+    /// Length of the trace this index covers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the indexed trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Longest common extension: the length of the longest common prefix of
+    /// the suffixes starting at `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn lce(&self, i: usize, j: usize) -> usize {
+        assert!(i <= self.n && j <= self.n, "lce out of bounds");
+        if i == j {
+            return self.n - i;
+        }
+        if i == self.n || j == self.n {
+            return 0;
+        }
+        let (a, b) = {
+            let (ra, rb) = (self.rank[i] as usize, self.rank[j] as usize);
+            if ra < rb {
+                (ra, rb)
+            } else {
+                (rb, ra)
+            }
+        };
+        self.rmq.min(a + 1, b) as usize
+    }
+}
+
+/// Suffix array by prefix doubling, O(n log n). Symbols are arbitrary `u64`
+/// values; they are first rank-compressed.
+pub fn suffix_array(trace: &[u64]) -> Vec<u32> {
+    let n = trace.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Initial ranks from sorted symbol values.
+    let mut sorted: Vec<u64> = trace.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut rank: Vec<i64> = trace
+        .iter()
+        .map(|x| sorted.binary_search(x).expect("symbol present") as i64)
+        .collect();
+
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut tmp: Vec<i64> = vec![0; n];
+    let mut k = 1usize;
+    while k < n {
+        let key = |i: u32| -> (i64, i64) {
+            let i = i as usize;
+            let second = if i + k < n { rank[i + k] } else { -1 };
+            (rank[i], second)
+        };
+        sa.sort_unstable_by_key(|&i| key(i));
+        tmp[sa[0] as usize] = 0;
+        for w in 1..n {
+            let inc = (key(sa[w]) != key(sa[w - 1])) as i64;
+            tmp[sa[w] as usize] = tmp[sa[w - 1] as usize] + inc;
+        }
+        rank.copy_from_slice(&tmp);
+        if rank[sa[n - 1] as usize] as usize == n - 1 {
+            break;
+        }
+        k <<= 1;
+    }
+    sa
+}
+
+/// Kasai's LCP construction: `lcp[k]` = LCP(sa[k-1], sa[k]), `lcp[0]` = 0.
+fn kasai(trace: &[u64], sa: &[u32], rank: &[u32]) -> Vec<u32> {
+    let n = trace.len();
+    let mut lcp = vec![0u32; n];
+    let mut h = 0usize;
+    for i in 0..n {
+        let r = rank[i] as usize;
+        if r > 0 {
+            let j = sa[r - 1] as usize;
+            while i + h < n && j + h < n && trace[i + h] == trace[j + h] {
+                h += 1;
+            }
+            lcp[r] = h as u32;
+            h = h.saturating_sub(1);
+        } else {
+            h = 0;
+        }
+    }
+    lcp
+}
+
+/// Two-level range-minimum structure: per-block minima with a sparse table on
+/// top, linear scan within blocks. O(n) memory, O(B) query with B = 32.
+struct BlockRmq {
+    data: Vec<u32>,
+    block: usize,
+    /// sparse[l][b] = min of blocks [b, b + 2^l).
+    sparse: Vec<Vec<u32>>,
+}
+
+impl BlockRmq {
+    fn new(data: &[u32]) -> BlockRmq {
+        let block = 32usize;
+        let nb = data.len().div_ceil(block);
+        let mut level0 = vec![u32::MAX; nb.max(1)];
+        for (i, &v) in data.iter().enumerate() {
+            let b = i / block;
+            if v < level0[b] {
+                level0[b] = v;
+            }
+        }
+        let mut sparse = vec![level0];
+        let mut width = 1usize;
+        while width * 2 <= nb {
+            let prev = sparse.last().expect("at least one level");
+            let mut next = Vec::with_capacity(nb - width * 2 + 1);
+            for b in 0..=(nb - width * 2) {
+                next.push(prev[b].min(prev[b + width]));
+            }
+            sparse.push(next);
+            width *= 2;
+        }
+        BlockRmq {
+            data: data.to_vec(),
+            block,
+            sparse,
+        }
+    }
+
+    /// Minimum of `data[lo..=hi]`. Requires `lo <= hi < data.len()`.
+    fn min(&self, lo: usize, hi: usize) -> u32 {
+        debug_assert!(lo <= hi && hi < self.data.len());
+        let b_lo = lo / self.block;
+        let b_hi = hi / self.block;
+        if b_lo == b_hi {
+            return self.data[lo..=hi].iter().copied().min().expect("non-empty");
+        }
+        let mut best = u32::MAX;
+        // Head partial block.
+        let head_end = (b_lo + 1) * self.block - 1;
+        best = best.min(
+            self.data[lo..=head_end]
+                .iter()
+                .copied()
+                .min()
+                .expect("non-empty"),
+        );
+        // Tail partial block.
+        let tail_start = b_hi * self.block;
+        best = best.min(
+            self.data[tail_start..=hi]
+                .iter()
+                .copied()
+                .min()
+                .expect("non-empty"),
+        );
+        // Whole blocks in between via sparse table.
+        if b_lo + 1 <= b_hi.wrapping_sub(1) && b_hi >= 1 {
+            let (first, last) = (b_lo + 1, b_hi - 1);
+            if first <= last {
+                let span = last - first + 1;
+                let level = usize::BITS as usize - 1 - span.leading_zeros() as usize;
+                let w = 1usize << level;
+                best = best.min(self.sparse[level][first]);
+                best = best.min(self.sparse[level][last + 1 - w]);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_sa(trace: &[u64]) -> Vec<u32> {
+        let mut sa: Vec<u32> = (0..trace.len() as u32).collect();
+        sa.sort_by(|&a, &b| trace[a as usize..].cmp(&trace[b as usize..]));
+        sa
+    }
+
+    fn naive_lce(trace: &[u64], i: usize, j: usize) -> usize {
+        let mut k = 0;
+        while i + k < trace.len() && j + k < trace.len() && trace[i + k] == trace[j + k] {
+            k += 1;
+        }
+        k
+    }
+
+    #[test]
+    fn sa_matches_naive_small() {
+        let cases: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![5],
+            vec![1, 1, 1, 1],
+            vec![3, 1, 2, 3, 1, 2],
+            vec![9, 8, 7, 6, 5],
+            (0..40).map(|i| (i * 7 % 5) as u64).collect(),
+        ];
+        for t in cases {
+            assert_eq!(suffix_array(&t), naive_sa(&t), "trace {t:?}");
+        }
+    }
+
+    #[test]
+    fn lce_matches_naive() {
+        let trace: Vec<u64> = (0..200).map(|i| (i * 13 % 7) as u64).collect();
+        let idx = LceIndex::new(&trace);
+        for i in 0..trace.len() {
+            for j in 0..trace.len() {
+                assert_eq!(
+                    idx.lce(i, j),
+                    naive_lce(&trace, i, j),
+                    "lce({i},{j}) on periodic trace"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lce_empty_and_end() {
+        let trace = [1u64, 2, 3];
+        let idx = LceIndex::new(&trace);
+        assert_eq!(idx.lce(3, 3), 0);
+        assert_eq!(idx.lce(0, 3), 0);
+        let empty = LceIndex::new(&[]);
+        assert_eq!(empty.lce(0, 0), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn rmq_exhaustive_small() {
+        let data: Vec<u32> = (0..300).map(|i| ((i * 31) % 97) as u32).collect();
+        let rmq = BlockRmq::new(&data);
+        for lo in 0..data.len() {
+            for hi in lo..data.len() {
+                let expect = data[lo..=hi].iter().copied().min().unwrap();
+                assert_eq!(rmq.min(lo, hi), expect, "range [{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn large_repetitive_trace() {
+        // A trace with a long repeated stream; LCE across the two copies must
+        // equal the stream length.
+        let stream: Vec<u64> = (100..612).collect();
+        let mut trace = stream.clone();
+        trace.push(1);
+        trace.extend_from_slice(&stream);
+        trace.push(2);
+        let idx = LceIndex::new(&trace);
+        assert_eq!(idx.lce(0, stream.len() + 1), stream.len());
+    }
+}

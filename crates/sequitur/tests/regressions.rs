@@ -1,0 +1,35 @@
+//! Regression test: overlap-skipped digrams must be re-indexed when the
+//! indexed neighbouring occurrence is deleted by an unrelated substitution.
+//! Minimal input found by proptest.
+
+use tifs_sequitur::grammar::Sequitur;
+
+#[test]
+fn overlap_entry_eviction_regression() {
+    let trace: Vec<u64> = vec![0, 0, 0, 0, 0, 0, 2, 3, 1, 1, 1, 3, 1, 2, 0, 0, 0, 0, 1, 1, 0];
+    let mut s = Sequitur::new();
+    for &x in &trace {
+        s.push(x);
+        s.assert_invariants();
+    }
+    assert_eq!(s.into_grammar().expand(), trace);
+}
+
+#[test]
+fn nested_run_interactions() {
+    // Additional stress around runs interacting with rule creation.
+    let patterns: [&[u64]; 4] = [
+        &[1, 1, 1, 1, 2, 1, 1, 1, 1, 2],
+        &[3, 1, 1, 1, 3, 1, 2, 1, 1],
+        &[0, 0, 2, 0, 0, 2, 0, 0, 0, 0, 2],
+        &[5, 5, 5, 5, 5, 4, 5, 5, 5, 5, 5, 4],
+    ];
+    for p in patterns {
+        let mut s = Sequitur::new();
+        for &x in p {
+            s.push(x);
+            s.assert_invariants();
+        }
+        assert_eq!(s.into_grammar().expand(), p, "pattern {p:?}");
+    }
+}

@@ -1,0 +1,224 @@
+//! Set-associative cache with true-LRU replacement.
+//!
+//! Used for the L1 instruction caches (64 KB, 2-way) and the shared L2
+//! presence tracking (8 MB, 16-way). The cache tracks block residency only;
+//! data contents are irrelevant to the simulation.
+
+use tifs_trace::BlockAddr;
+
+/// A set-associative cache of block addresses with true-LRU replacement.
+///
+/// # Example
+///
+/// ```
+/// use tifs_sim::cache::SetAssocCache;
+/// use tifs_trace::BlockAddr;
+///
+/// // Four sets, 2-way: 8 blocks of 64 bytes = 512 B.
+/// let mut c = SetAssocCache::new(512, 2);
+/// assert!(!c.access(BlockAddr(0)));
+/// c.insert(BlockAddr(0));
+/// assert!(c.access(BlockAddr(0)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    /// Per set: resident blocks, MRU first.
+    sets: Vec<Vec<BlockAddr>>,
+    ways: usize,
+    set_mask: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl SetAssocCache {
+    /// Creates a cache of `capacity_bytes` with `ways` ways and 64-byte
+    /// blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the resulting set count is a nonzero power of two.
+    pub fn new(capacity_bytes: usize, ways: usize) -> SetAssocCache {
+        let blocks = capacity_bytes / tifs_trace::BLOCK_BYTES as usize;
+        assert!(ways > 0 && blocks >= ways, "invalid geometry");
+        let num_sets = blocks / ways;
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count {num_sets} must be a power of two"
+        );
+        SetAssocCache {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            set_mask: (num_sets - 1) as u64,
+            insertions: 0,
+            evictions: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, block: BlockAddr) -> usize {
+        (block.0 & self.set_mask) as usize
+    }
+
+    /// Looks up `block`, promoting it to MRU on hit. Returns `true` on hit.
+    pub fn access(&mut self, block: BlockAddr) -> bool {
+        let s = self.set_of(block);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&b| b == block) {
+            let b = set.remove(pos);
+            set.insert(0, b);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Checks residency without touching LRU state.
+    pub fn peek(&self, block: BlockAddr) -> bool {
+        self.sets[self.set_of(block)].contains(&block)
+    }
+
+    /// Inserts `block` at MRU (no-op promote if already resident). Returns
+    /// the evicted block, if any.
+    pub fn insert(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        let s = self.set_of(block);
+        let ways = self.ways;
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&b| b == block) {
+            let b = set.remove(pos);
+            set.insert(0, b);
+            return None;
+        }
+        self.insertions += 1;
+        set.insert(0, block);
+        if set.len() > ways {
+            self.evictions += 1;
+            set.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Removes `block` if resident; returns whether it was present.
+    pub fn invalidate(&mut self, block: BlockAddr) -> bool {
+        let s = self.set_of(block);
+        let set = &mut self.sets[s];
+        match set.iter().position(|&b| b == block) {
+            Some(pos) => {
+                set.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Total resident blocks.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Returns `true` if nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of ways.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Lifetime (insertions, evictions).
+    pub fn churn(&self) -> (u64, u64) {
+        (self.insertions, self.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(set: u64, tag: u64, num_sets: u64) -> BlockAddr {
+        BlockAddr(tag * num_sets + set)
+    }
+
+    #[test]
+    fn lru_within_set() {
+        // 2-way: after inserting 3 blocks into one set, the first is gone.
+        let mut c = SetAssocCache::new(512, 2); // 4 sets
+        let (a, b, d) = (block(1, 0, 4), block(1, 1, 4), block(1, 2, 4));
+        c.insert(a);
+        c.insert(b);
+        assert_eq!(c.insert(d), Some(a), "LRU victim is the oldest");
+        assert!(c.peek(b) && c.peek(d) && !c.peek(a));
+    }
+
+    #[test]
+    fn access_promotes() {
+        let mut c = SetAssocCache::new(512, 2);
+        let (a, b, d) = (block(2, 0, 4), block(2, 1, 4), block(2, 2, 4));
+        c.insert(a);
+        c.insert(b);
+        assert!(c.access(a)); // a becomes MRU
+        assert_eq!(c.insert(d), Some(b), "b is now LRU");
+    }
+
+    #[test]
+    fn insert_existing_promotes_without_eviction() {
+        let mut c = SetAssocCache::new(512, 2);
+        let (a, b) = (block(0, 0, 4), block(0, 1, 4));
+        c.insert(a);
+        c.insert(b);
+        assert_eq!(c.insert(a), None);
+        let d = block(0, 2, 4);
+        assert_eq!(c.insert(d), Some(b));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = SetAssocCache::new(512, 2);
+        for tag in 0..2 {
+            for set in 0..4 {
+                assert_eq!(c.insert(block(set, tag, 4)), None);
+            }
+        }
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = SetAssocCache::new(512, 2);
+        let a = block(3, 0, 4);
+        c.insert(a);
+        assert!(c.invalidate(a));
+        assert!(!c.invalidate(a));
+        assert!(!c.peek(a));
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = SetAssocCache::new(1024, 4); // 16 blocks
+        for i in 0..1000u64 {
+            c.insert(BlockAddr(i * 7));
+            assert!(c.len() <= 16);
+        }
+        let (ins, ev) = c.churn();
+        assert_eq!(ins - ev, c.len() as u64);
+    }
+
+    #[test]
+    fn l1i_geometry() {
+        let c = SetAssocCache::new(64 * 1024, 2);
+        assert_eq!(c.num_sets(), 512);
+        assert_eq!(c.ways(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_sets() {
+        SetAssocCache::new(3 * 64, 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! System configuration mirroring the paper's Table II.
+//!
+//! Four 4 GHz out-of-order cores (Intel Core 2-like), split 64 KB 2-way L1
+//! caches, a shared 8 MB 16-way L2 in 16 banks, and IBM Power 6-like memory
+//! latency/bandwidth.
+
+/// Complete CMP configuration (paper Table II).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemConfig {
+    /// Number of cores (paper: 4).
+    pub num_cores: usize,
+    /// Fetch/dispatch/retire width (paper: 4-wide).
+    pub width: usize,
+    /// Reorder buffer entries (paper: 96).
+    pub rob_entries: usize,
+    /// Pre-dispatch (fetch) queue entries (paper: 16).
+    pub fetch_queue: usize,
+    /// L1 instruction cache capacity in bytes (paper: 64 KB).
+    pub l1i_bytes: usize,
+    /// L1-I associativity (paper: 2-way).
+    pub l1i_ways: usize,
+    /// Next-line prefetch depth. The paper's prefetcher runs continually
+    /// two blocks ahead; our cores consume blocks faster (higher base
+    /// IPC), so the default depth is 4 to keep next-line hits timely, as
+    /// the paper's hit accounting assumes.
+    pub next_line_depth: u64,
+    /// L1 load-to-use latency in cycles (paper: 2).
+    pub l1d_latency: u64,
+    /// Shared L2 capacity in bytes (paper: 8 MB).
+    pub l2_bytes: usize,
+    /// L2 associativity (paper: 16-way).
+    pub l2_ways: usize,
+    /// L2 bank count (paper: 16, independently scheduled).
+    pub l2_banks: usize,
+    /// Minimum total L2 hit latency in cycles (paper: 20).
+    pub l2_latency: u64,
+    /// Cycles a bank's data pipeline is occupied per access (paper: one new
+    /// access at most every 4 cycles).
+    pub l2_bank_occupancy: u64,
+    /// Maximum in-flight L2 accesses (paper: 64 MSHRs).
+    pub l2_mshrs: usize,
+    /// Main-memory access latency in cycles (45 ns at 4 GHz = 180).
+    pub mem_latency: u64,
+    /// Minimum cycles between memory transfers (bandwidth: 28.4 GB/s peak,
+    /// 64 B transfer unit at 4 GHz ~= one block every 9 cycles).
+    pub mem_gap: u64,
+    /// Branch mispredict redirect penalty in cycles.
+    pub mispredict_penalty: u64,
+    /// Probability a store eventually produces an L2 writeback access
+    /// (bandwidth model for the base-traffic denominator of Figure 12).
+    pub store_writeback_prob: f64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            num_cores: 4,
+            width: 4,
+            rob_entries: 96,
+            fetch_queue: 16,
+            l1i_bytes: 64 * 1024,
+            l1i_ways: 2,
+            next_line_depth: 4,
+            l1d_latency: 2,
+            l2_bytes: 8 * 1024 * 1024,
+            l2_ways: 16,
+            l2_banks: 16,
+            l2_latency: 20,
+            l2_bank_occupancy: 4,
+            l2_mshrs: 64,
+            mem_latency: 180,
+            mem_gap: 9,
+            mispredict_penalty: 12,
+            store_writeback_prob: 0.25,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// The paper's Table II configuration.
+    pub fn table2() -> SystemConfig {
+        SystemConfig::default()
+    }
+
+    /// A single-core variant for focused experiments and tests.
+    pub fn single_core() -> SystemConfig {
+        SystemConfig {
+            num_cores: 1,
+            ..SystemConfig::default()
+        }
+    }
+
+    /// Renders the configuration as the paper's Table II rows.
+    pub fn table_rows(&self) -> Vec<(String, String)> {
+        vec![
+            (
+                "Cores".into(),
+                format!("{} x 4.0 GHz OoO, {}-wide dispatch/retire", self.num_cores, self.width),
+            ),
+            (
+                "ROB / fetch queue".into(),
+                format!("{}-entry ROB, {}-entry pre-dispatch queue", self.rob_entries, self.fetch_queue),
+            ),
+            (
+                "L1-I".into(),
+                format!(
+                    "{} KB {}-way, 64-byte lines, next-line prefetcher ({} ahead)",
+                    self.l1i_bytes / 1024,
+                    self.l1i_ways,
+                    self.next_line_depth
+                ),
+            ),
+            (
+                "L2".into(),
+                format!(
+                    "{} MB {}-way, {} banks, {}-cycle latency, {} MSHRs",
+                    self.l2_bytes / (1024 * 1024),
+                    self.l2_ways,
+                    self.l2_banks,
+                    self.l2_latency,
+                    self.l2_mshrs
+                ),
+            ),
+            (
+                "Memory".into(),
+                format!(
+                    "{}-cycle latency, one 64-byte transfer per {} cycles",
+                    self.mem_latency, self.mem_gap
+                ),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        let c = SystemConfig::table2();
+        assert_eq!(c.num_cores, 4);
+        assert_eq!(c.rob_entries, 96);
+        assert_eq!(c.l1i_bytes, 64 * 1024);
+        assert_eq!(c.l2_bytes, 8 * 1024 * 1024);
+        assert_eq!(c.l2_banks, 16);
+        assert_eq!(c.l2_latency, 20);
+        assert_eq!(c.mem_latency, 180);
+    }
+
+    #[test]
+    fn rows_render() {
+        let rows = SystemConfig::table2().table_rows();
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().any(|(k, _)| k == "L2"));
+    }
+}

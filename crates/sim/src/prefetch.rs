@@ -1,0 +1,124 @@
+//! The instruction-prefetcher interface the CMP timing model drives.
+//!
+//! One prefetcher object serves the whole CMP (TIFS shares its Index Table
+//! across cores; per-core state lives inside the implementation, keyed by
+//! `ctx.core`). The next-line prefetcher is part of the base fetch unit and
+//! is *not* expressed through this trait: implementations only see block
+//! fetches, and supply blocks the base system would have missed.
+
+use tifs_trace::{BlockAddr, FetchRecord};
+
+use crate::l2::L2;
+
+/// Outcome of the base system's L1-I lookup for a block transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchKind {
+    /// Present in the L1 (includes completed next-line fills).
+    L1Hit,
+    /// Covered by an in-flight next-line prefetch (counted as an L1 hit in
+    /// the paper's accounting); the prefetcher may supply the block
+    /// earlier than the fill, but this is not a stream-lookup trigger.
+    NextLineInFlight,
+    /// A genuine L1-I miss (missed by next-line too).
+    Miss,
+}
+
+/// Context handed to every prefetcher callback.
+pub struct PrefetchCtx<'a> {
+    /// Current cycle.
+    pub now: u64,
+    /// Core performing the access.
+    pub core: usize,
+    /// The shared L2, for issuing prefetch/IML requests.
+    pub l2: &'a mut L2,
+}
+
+/// An instruction prefetcher evaluated on top of the base system.
+///
+/// All methods have defaults so trivial prefetchers implement only
+/// [`on_block_fetch`](IPrefetcher::on_block_fetch).
+pub trait IPrefetcher {
+    /// Short display name ("tifs", "fdip", ...).
+    fn name(&self) -> &'static str;
+
+    /// Observes one committed instruction at fetch time (FDIP uses this to
+    /// follow/redirect its exploration; TIFS ignores it).
+    fn on_fetch_instr(&mut self, _ctx: &mut PrefetchCtx<'_>, _rec: &FetchRecord) {}
+
+    /// The fetch unit transitioned to `block`; `kind` reports the base
+    /// system's outcome. On a miss (or an in-flight next-line cover) the
+    /// prefetcher may supply the block by returning the cycle its copy is
+    /// (or will be) ready; returning `None` lets the base system proceed.
+    fn on_block_fetch(
+        &mut self,
+        ctx: &mut PrefetchCtx<'_>,
+        block: BlockAddr,
+        kind: FetchKind,
+    ) -> Option<u64>;
+
+    /// An instruction retired whose fetch block had missed L1. `supplied`
+    /// is true when this prefetcher provided the block (an SVB hit). TIFS
+    /// logs misses at retirement (paper Section 5.1.1).
+    fn on_retire_fetch_miss(
+        &mut self,
+        _ctx: &mut PrefetchCtx<'_>,
+        _block: BlockAddr,
+        _supplied: bool,
+    ) {
+    }
+
+    /// An instruction block was evicted from L2 (embedded Index-Table
+    /// pointers die with their tags).
+    fn on_l2_evict(&mut self, _block: BlockAddr) {}
+
+    /// Once-per-cycle housekeeping (stream rate matching, queue draining).
+    fn tick(&mut self, _ctx: &mut PrefetchCtx<'_>) {}
+
+    /// Implementation-specific counters for reports (name, value).
+    fn counters(&self) -> Vec<(String, f64)> {
+        Vec::new()
+    }
+
+    /// Zeroes implementation counters, preserving predictor state (used to
+    /// discard warmup from measurements).
+    fn reset_counters(&mut self) {}
+}
+
+/// The base system's "no additional prefetcher": next-line only.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullPrefetcher;
+
+impl IPrefetcher for NullPrefetcher {
+    fn name(&self) -> &'static str {
+        "next-line"
+    }
+
+    fn on_block_fetch(
+        &mut self,
+        _ctx: &mut PrefetchCtx<'_>,
+        _block: BlockAddr,
+        _kind: FetchKind,
+    ) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    #[test]
+    fn null_prefetcher_never_supplies() {
+        let mut l2 = L2::new(&SystemConfig::table2());
+        let mut ctx = PrefetchCtx {
+            now: 0,
+            core: 0,
+            l2: &mut l2,
+        };
+        let mut p = NullPrefetcher;
+        assert_eq!(p.on_block_fetch(&mut ctx, BlockAddr(1), FetchKind::Miss), None);
+        assert_eq!(p.name(), "next-line");
+        assert!(p.counters().is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Simulation statistics: per-core counters and whole-run reports.
+
+use crate::l2::L2Stats;
+
+/// Per-core counters collected during a timing run.
+#[derive(Clone, Debug, Default)]
+pub struct CoreStats {
+    /// Retired instructions.
+    pub retired: u64,
+    /// Elapsed cycles (set by the harness at run end).
+    pub cycles: u64,
+    /// Fetch-block transitions (L1-I lookups).
+    pub fetch_blocks: u64,
+    /// L1-I hits.
+    pub l1i_hits: u64,
+    /// Misses covered by the next-line prefetcher (counted as L1 hits in
+    /// the paper's accounting, even when the fill is still in flight).
+    pub next_line_hits: u64,
+    /// Misses covered by the evaluated prefetcher (SVB / FDIP buffer) —
+    /// "Coverage" in Figure 12.
+    pub prefetch_hits: u64,
+    /// Remaining demand misses serviced by L2 — "Miss" in Figure 12.
+    pub demand_misses: u64,
+    /// Cycles the fetch unit was stalled waiting on an instruction fill.
+    pub fetch_stall_cycles: u64,
+    /// Conditional-branch mispredicts (redirect bubbles).
+    pub mispredicts: u64,
+    /// Conditional branches seen.
+    pub cond_branches: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1-I fetch misses after next-line prefetching (the paper's "miss"
+    /// definition): prefetcher hits plus remaining demand misses.
+    pub fn baseline_misses(&self) -> u64 {
+        self.prefetch_hits + self.demand_misses
+    }
+
+    /// Fraction of baseline misses covered by the evaluated prefetcher.
+    pub fn coverage(&self) -> f64 {
+        let b = self.baseline_misses();
+        if b == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / b as f64
+        }
+    }
+}
+
+/// Whole-run report: per-core stats, L2 stats, and prefetcher-specific
+/// counters.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Per-core statistics.
+    pub cores: Vec<CoreStats>,
+    /// Shared L2 statistics.
+    pub l2: L2Stats,
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Prefetcher-specific named counters (e.g. SVB discards).
+    pub prefetcher: Vec<(String, f64)>,
+}
+
+impl SimReport {
+    /// Aggregate instructions retired across cores.
+    pub fn total_retired(&self) -> u64 {
+        self.cores.iter().map(|c| c.retired).sum()
+    }
+
+    /// Aggregate IPC (sum of per-core IPC).
+    pub fn aggregate_ipc(&self) -> f64 {
+        self.cores.iter().map(|c| c.ipc()).sum()
+    }
+
+    /// Aggregate coverage over all cores.
+    pub fn coverage(&self) -> f64 {
+        let hits: u64 = self.cores.iter().map(|c| c.prefetch_hits).sum();
+        let base: u64 = self.cores.iter().map(|c| c.baseline_misses()).sum();
+        if base == 0 {
+            0.0
+        } else {
+            hits as f64 / base as f64
+        }
+    }
+
+    /// Prefetcher counter by name, if recorded.
+    pub fn prefetcher_counter(&self, name: &str) -> Option<f64> {
+        self.prefetcher
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Speedup of this run over a baseline run of the same instruction
+    /// count (ratio of aggregate IPC).
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        let b = baseline.aggregate_ipc();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.aggregate_ipc() / b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_math() {
+        let c = CoreStats {
+            prefetch_hits: 60,
+            demand_misses: 40,
+            ..CoreStats::default()
+        };
+        assert_eq!(c.baseline_misses(), 100);
+        assert!((c.coverage() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = SimReport::default();
+        assert_eq!(r.total_retired(), 0);
+        assert_eq!(r.aggregate_ipc(), 0.0);
+        assert_eq!(r.coverage(), 0.0);
+        assert_eq!(r.prefetcher_counter("x"), None);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let mk = |retired, cycles| {
+            let mut r = SimReport::default();
+            r.cores.push(CoreStats {
+                retired,
+                cycles,
+                ..CoreStats::default()
+            });
+            r
+        };
+        let base = mk(1000, 1000);
+        let fast = mk(1000, 800);
+        assert!((fast.speedup_over(&base) - 1.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the simulator substrate: cache invariants and
+//! L2 timing monotonicity.
+
+use proptest::prelude::*;
+use tifs_sim::cache::SetAssocCache;
+use tifs_sim::config::SystemConfig;
+use tifs_sim::l2::{L2ReqKind, L2};
+use tifs_trace::BlockAddr;
+
+proptest! {
+    #[test]
+    fn cache_capacity_and_membership(ops in prop::collection::vec((0u64..256, any::<bool>()), 0..500)) {
+        // 16 blocks, 2-way.
+        let mut cache = SetAssocCache::new(1024, 2);
+        let mut inserted = std::collections::HashSet::new();
+        for (b, is_insert) in ops {
+            let block = BlockAddr(b);
+            if is_insert {
+                cache.insert(block);
+                inserted.insert(b);
+            } else if cache.access(block) {
+                // A hit must be a block we actually inserted.
+                prop_assert!(inserted.contains(&b), "phantom block {b}");
+            }
+            prop_assert!(cache.len() <= 16);
+        }
+        let (ins, ev) = cache.churn();
+        prop_assert_eq!(ins - ev, cache.len() as u64);
+    }
+
+    #[test]
+    fn cache_insert_makes_resident(blocks in prop::collection::vec(0u64..1024, 1..100)) {
+        let mut cache = SetAssocCache::new(64 * 1024, 2);
+        for &b in &blocks {
+            cache.insert(BlockAddr(b));
+            prop_assert!(cache.peek(BlockAddr(b)), "freshly inserted block must be resident");
+        }
+    }
+
+    #[test]
+    fn l2_ready_times_never_precede_latency(
+        reqs in prop::collection::vec((0u64..4096, 0u64..8), 1..200),
+    ) {
+        let cfg = SystemConfig::table2();
+        let mut l2 = L2::new(&cfg);
+        let mut now = 0u64;
+        for (block, gap) in reqs {
+            now += gap;
+            if let Some(resp) = l2.request(now, BlockAddr(block), L2ReqKind::IFetch, None) {
+                prop_assert!(
+                    resp.ready >= now + cfg.l2_latency,
+                    "ready {} before minimum latency at {}",
+                    resp.ready,
+                    now
+                );
+                if !resp.hit {
+                    prop_assert!(resp.ready >= now + cfg.l2_latency + cfg.mem_latency);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn l2_second_touch_hits(block in 0u64..100_000) {
+        let mut l2 = L2::new(&SystemConfig::table2());
+        let first = l2.request(0, BlockAddr(block), L2ReqKind::IFetch, None).unwrap();
+        prop_assert!(!first.hit);
+        let second = l2.request(10_000, BlockAddr(block), L2ReqKind::IFetch, None).unwrap();
+        prop_assert!(second.hit);
+        prop_assert!(second.ready < first.ready + 10_000);
+    }
+
+    #[test]
+    fn l2_traffic_accounting_sums(kinds in prop::collection::vec(0usize..6, 0..100)) {
+        let mut l2 = L2::new(&SystemConfig::table2());
+        let mut now = 0;
+        for (i, k) in kinds.iter().enumerate() {
+            let kind = L2ReqKind::ALL[*k];
+            let forced = matches!(kind, L2ReqKind::Data).then_some(true);
+            let _ = l2.request(now, BlockAddr(i as u64), kind, forced);
+            now += 100; // avoid MSHR exhaustion
+        }
+        let total: u64 = L2ReqKind::ALL.iter().map(|&k| l2.stats().of(k)).sum();
+        prop_assert_eq!(total, kinds.len() as u64);
+        prop_assert!(l2.stats().base_traffic() + l2.stats().iml_traffic() == total);
+    }
+}

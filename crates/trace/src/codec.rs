@@ -1,0 +1,354 @@
+//! Compact binary trace format and parser.
+//!
+//! Traces are expensive to regenerate for long experiments, and the paper's
+//! methodology is trace-driven, so the crate provides a self-describing
+//! binary format for instruction traces:
+//!
+//! * a 16-byte header (`magic`, version, record count),
+//! * per record: a flags byte, a varint PC *delta* (PCs are strongly
+//!   local, so deltas compress well), and, for branches, a varint target
+//!   delta.
+//!
+//! All integers use LEB128 variable-length encoding with zig-zag for signed
+//! deltas. The codec round-trips exactly and fails loudly on corrupt input.
+
+use std::io::{self, Read, Write};
+
+use crate::record::{BranchInfo, BranchKind, FetchRecord, MemClass};
+use crate::types::Addr;
+
+/// Magic bytes identifying a TIFS trace file.
+pub const MAGIC: [u8; 4] = *b"TIFS";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Errors produced by the trace codec.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input does not start with the TIFS magic.
+    BadMagic([u8; 4]),
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// A varint ran past its maximum length or the stream ended inside a
+    /// record.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "i/o error: {e}"),
+            CodecError::BadMagic(m) => write!(f, "bad magic {m:?}, expected \"TIFS\""),
+            CodecError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            CodecError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CodecError {
+    fn from(e: io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+// Flags byte layout:
+//   bits 0-2: mem class (0=None 1=LoadL1 2=LoadL2 3=LoadMem 4=Store)
+//   bit  3:   trap
+//   bit  4:   has branch
+//   bits 5-6: branch kind (0=Cond 1=Jump 2=Call 3=Return)
+//   bit  7:   branch taken
+// inner_loop is folded into a second flags bit via mem-class space:
+//   value 5 in bits 0-2 is unused, so inner_loop rides bit 3 of the
+//   *branch extension byte* written only for branches.
+
+fn mem_to_bits(m: MemClass) -> u8 {
+    match m {
+        MemClass::None => 0,
+        MemClass::LoadL1 => 1,
+        MemClass::LoadL2 => 2,
+        MemClass::LoadMem => 3,
+        MemClass::Store => 4,
+    }
+}
+
+fn bits_to_mem(b: u8) -> Result<MemClass, CodecError> {
+    Ok(match b {
+        0 => MemClass::None,
+        1 => MemClass::LoadL1,
+        2 => MemClass::LoadL2,
+        3 => MemClass::LoadMem,
+        4 => MemClass::Store,
+        _ => return Err(CodecError::Corrupt("invalid mem class")),
+    })
+}
+
+fn kind_to_bits(k: BranchKind) -> u8 {
+    match k {
+        BranchKind::Conditional => 0,
+        BranchKind::Jump => 1,
+        BranchKind::Call => 2,
+        BranchKind::Return => 3,
+    }
+}
+
+fn bits_to_kind(b: u8) -> BranchKind {
+    match b & 3 {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::Jump,
+        2 => BranchKind::Call,
+        _ => BranchKind::Return,
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            w.write_all(&[byte])?;
+            return Ok(());
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> Result<u64, CodecError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut buf = [0u8; 1];
+        r.read_exact(&mut buf)
+            .map_err(|_| CodecError::Corrupt("truncated varint"))?;
+        let b = buf[0];
+        if shift >= 64 {
+            return Err(CodecError::Corrupt("varint too long"));
+        }
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Writes a complete trace (header + records). A mutable reference works
+/// anywhere a `W: Write` is expected.
+pub fn write_trace<W: Write>(w: &mut W, records: &[FetchRecord]) -> Result<(), CodecError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(records.len() as u64).to_le_bytes())?;
+    let mut prev_pc: u64 = 0;
+    for r in records {
+        let mut flags = mem_to_bits(r.mem);
+        if r.trap {
+            flags |= 1 << 3;
+        }
+        if let Some(b) = r.branch {
+            flags |= 1 << 4;
+            flags |= kind_to_bits(b.kind) << 5;
+            if b.taken {
+                flags |= 1 << 7;
+            }
+        }
+        w.write_all(&[flags])?;
+        write_varint(w, zigzag(r.pc.0 as i64 - prev_pc as i64))?;
+        prev_pc = r.pc.0;
+        if let Some(b) = r.branch {
+            let ext = u8::from(b.inner_loop);
+            w.write_all(&[ext])?;
+            write_varint(w, zigzag(b.target.0 as i64 - r.pc.0 as i64))?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a complete trace written by [`write_trace`]. A mutable reference
+/// works anywhere an `R: Read` is expected.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on malformed magic, version, or truncated input.
+pub fn read_trace<R: Read>(r: &mut R) -> Result<Vec<FetchRecord>, CodecError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let mut v4 = [0u8; 4];
+    r.read_exact(&mut v4)?;
+    let version = u32::from_le_bytes(v4);
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let mut c8 = [0u8; 8];
+    r.read_exact(&mut c8)?;
+    let count = u64::from_le_bytes(c8) as usize;
+
+    let mut out = Vec::with_capacity(count.min(1 << 24));
+    let mut prev_pc: u64 = 0;
+    for _ in 0..count {
+        let mut fb = [0u8; 1];
+        r.read_exact(&mut fb)
+            .map_err(|_| CodecError::Corrupt("truncated record"))?;
+        let flags = fb[0];
+        let mem = bits_to_mem(flags & 0x7)?;
+        let trap = flags & (1 << 3) != 0;
+        let delta = unzigzag(read_varint(r)?);
+        let pc = Addr((prev_pc as i64 + delta) as u64);
+        prev_pc = pc.0;
+        let branch = if flags & (1 << 4) != 0 {
+            let mut ext = [0u8; 1];
+            r.read_exact(&mut ext)
+                .map_err(|_| CodecError::Corrupt("truncated branch ext"))?;
+            let tdelta = unzigzag(read_varint(r)?);
+            Some(BranchInfo {
+                kind: bits_to_kind(flags >> 5),
+                taken: flags & (1 << 7) != 0,
+                target: Addr((pc.0 as i64 + tdelta) as u64),
+                inner_loop: ext[0] & 1 != 0,
+            })
+        } else {
+            None
+        };
+        out.push(FetchRecord {
+            pc,
+            branch,
+            mem,
+            trap,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<FetchRecord> {
+        vec![
+            FetchRecord::plain(Addr(0x1000)),
+            FetchRecord {
+                pc: Addr(0x1004),
+                branch: Some(BranchInfo {
+                    kind: BranchKind::Conditional,
+                    taken: true,
+                    target: Addr(0x0FC0),
+                    inner_loop: true,
+                }),
+                mem: MemClass::LoadL2,
+                trap: false,
+            },
+            FetchRecord {
+                pc: Addr(0x0FC0),
+                branch: Some(BranchInfo {
+                    kind: BranchKind::Return,
+                    taken: true,
+                    target: Addr(0x9_0000),
+                    inner_loop: false,
+                }),
+                mem: MemClass::Store,
+                trap: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let records = sample_records();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &records).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_records()).unwrap();
+        buf[0] = b'X';
+        match read_trace(&mut buf.as_slice()) {
+            Err(CodecError::BadMagic(_)) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_records()).unwrap();
+        buf[4] = 0xFF;
+        match read_trace(&mut buf.as_slice()) {
+            Err(CodecError::BadVersion(_)) => {}
+            other => panic!("expected BadVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_records()).unwrap();
+        buf.truncate(buf.len() - 2);
+        match read_trace(&mut buf.as_slice()) {
+            Err(CodecError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX / 2, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn delta_encoding_is_compact() {
+        // Sequential PCs should cost ~2-3 bytes per record.
+        let records: Vec<FetchRecord> = (0..1000)
+            .map(|i| FetchRecord::plain(Addr(0x10_0000 + i * 4)))
+            .collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &records).unwrap();
+        assert!(
+            buf.len() < 16 + 1000 * 3,
+            "encoding too large: {} bytes",
+            buf.len()
+        );
+    }
+}

@@ -1,0 +1,543 @@
+//! Stochastic executor: walks a [`Program`] and emits the committed
+//! instruction stream of one core.
+//!
+//! The walker is an infinite, deterministic (seeded) iterator of
+//! [`FetchRecord`]s. It models:
+//!
+//! * a **transaction driver**: when the call stack drains, a new transaction
+//!   entry function is chosen from a weighted mix (plus an occasional
+//!   cold-code entry, modelling one-off paths);
+//! * **data-dependent control flow**: every conditional branch and indirect
+//!   call draws a fresh outcome;
+//! * **OS traps**: at a configurable mean period, control asynchronously
+//!   enters a trap handler and returns afterwards — the fetch discontinuity
+//!   that interrupts in-flight temporal streams (paper Section 5.2: multiple
+//!   concurrent streams arise from traps and context switches);
+//! * **load latency classes**: loads draw an L1-D/L2/memory class from the
+//!   workload's data profile, driving the back-end timing model.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::program::{CalleeSpec, FuncId, Program, StaticOp};
+use crate::record::{BranchInfo, BranchKind, FetchRecord, MemClass};
+
+/// Weighted transaction mix plus cold-path model.
+#[derive(Clone, Debug)]
+pub struct TransactionMix {
+    /// `(entry function, weight)` pairs; weights need not be normalized.
+    pub entries: Vec<(FuncId, f64)>,
+    /// Pool of rarely-executed entry functions (one-off paths).
+    pub cold_entries: Vec<FuncId>,
+    /// Probability that a transaction is drawn from the cold pool.
+    pub cold_prob: f64,
+}
+
+impl TransactionMix {
+    /// A mix with a single hot entry point and no cold pool.
+    pub fn single(entry: FuncId) -> TransactionMix {
+        TransactionMix {
+            entries: vec![(entry, 1.0)],
+            cold_entries: Vec::new(),
+            cold_prob: 0.0,
+        }
+    }
+
+    fn pick(&self, rng: &mut SmallRng, cold_cursor: &mut usize) -> FuncId {
+        if !self.cold_entries.is_empty() && rng.gen_bool(self.cold_prob) {
+            // Walk the cold pool round-robin so most cold paths execute
+            // once or twice over a run (non-repetitive misses).
+            let f = self.cold_entries[*cold_cursor % self.cold_entries.len()];
+            *cold_cursor += 1;
+            return f;
+        }
+        let total: f64 = self.entries.iter().map(|(_, w)| w).sum();
+        let mut x = rng.gen_range(0.0..total);
+        for &(f, w) in &self.entries {
+            if x < w {
+                return f;
+            }
+            x -= w;
+        }
+        self.entries.last().expect("non-empty mix").0
+    }
+}
+
+/// Data-side latency profile: probabilities that a load resolves in each
+/// level (per workload class; Table I workloads differ mainly in data
+/// working sets).
+#[derive(Clone, Copy, Debug)]
+pub struct DataProfile {
+    /// Fraction of loads missing the L1-D cache.
+    pub l1d_miss_rate: f64,
+    /// Of those misses, fraction that hit in the shared L2.
+    pub l2_hit_frac: f64,
+}
+
+impl Default for DataProfile {
+    fn default() -> Self {
+        DataProfile {
+            l1d_miss_rate: 0.05,
+            l2_hit_frac: 0.7,
+        }
+    }
+}
+
+/// Executor configuration.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    /// Mean instructions between OS traps; 0 disables traps.
+    pub trap_period: u64,
+    /// Trap handler entry functions (chosen uniformly).
+    pub trap_handlers: Vec<FuncId>,
+    /// Call-stack depth limit; deeper calls are skipped (recursion guard).
+    pub max_stack: usize,
+    /// Load latency profile.
+    pub data: DataProfile,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            trap_period: 0,
+            trap_handlers: Vec::new(),
+            max_stack: 64,
+            data: DataProfile::default(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    func: FuncId,
+    idx: u32,
+}
+
+/// Infinite iterator over the committed instruction stream of one core.
+///
+/// # Example
+///
+/// ```
+/// use tifs_trace::exec::{ExecConfig, TransactionMix, Walker};
+/// use tifs_trace::program::{Function, FunctionBuilder, PlainMem, Program};
+/// use tifs_trace::types::Addr;
+///
+/// let mut b = FunctionBuilder::new();
+/// b.straight(8, PlainMem::Load);
+/// let program = Program::new(vec![Function { base: Addr(0x1000), ops: b.finish() }]);
+/// let mix = TransactionMix::single(tifs_trace::program::FuncId(0));
+/// let mut w = Walker::new(&program, mix, ExecConfig::default(), 42);
+/// let first: Vec<_> = (&mut w).take(9).collect(); // 8 instrs + return
+/// assert_eq!(first[0].pc, Addr(0x1000));
+/// ```
+pub struct Walker<'p> {
+    program: &'p Program,
+    mix: TransactionMix,
+    config: ExecConfig,
+    rng: SmallRng,
+    stack: Vec<Frame>,
+    cold_cursor: usize,
+    /// Instructions until the next trap fires (geometric).
+    trap_countdown: u64,
+    /// Depth of nested trap handlers (at most 1).
+    in_trap: bool,
+    trap_resume_depth: usize,
+    instructions: u64,
+    transactions: u64,
+}
+
+impl<'p> Walker<'p> {
+    /// Creates a walker over `program` with the given mix and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix has no entries.
+    pub fn new(program: &'p Program, mix: TransactionMix, config: ExecConfig, seed: u64) -> Self {
+        assert!(!mix.entries.is_empty(), "transaction mix must be non-empty");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let trap_countdown = Self::draw_trap_gap(&mut rng, config.trap_period);
+        Walker {
+            program,
+            mix,
+            config,
+            rng,
+            stack: Vec::new(),
+            cold_cursor: 0,
+            trap_countdown,
+            in_trap: false,
+            trap_resume_depth: 0,
+            instructions: 0,
+            transactions: 0,
+        }
+    }
+
+    /// Instructions emitted so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Transactions started so far.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    fn draw_trap_gap(rng: &mut SmallRng, period: u64) -> u64 {
+        if period == 0 {
+            return u64::MAX;
+        }
+        // Geometric with the configured mean, at least 1.
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        let g = (-(u.ln()) * period as f64) as u64;
+        g.max(1)
+    }
+
+    fn draw_load_class(&mut self) -> MemClass {
+        if self.rng.gen_bool(self.config.data.l1d_miss_rate) {
+            if self.rng.gen_bool(self.config.data.l2_hit_frac) {
+                MemClass::LoadL2
+            } else {
+                MemClass::LoadMem
+            }
+        } else {
+            MemClass::LoadL1
+        }
+    }
+
+    fn start_transaction(&mut self) {
+        let entry = self.mix.pick(&mut self.rng, &mut self.cold_cursor);
+        self.stack.push(Frame {
+            func: entry,
+            idx: 0,
+        });
+        self.transactions += 1;
+    }
+
+    fn maybe_enter_trap(&mut self) -> bool {
+        if self.trap_countdown > 0 {
+            self.trap_countdown -= 1;
+            return false;
+        }
+        self.trap_countdown = Self::draw_trap_gap(&mut self.rng, self.config.trap_period);
+        if self.in_trap || self.config.trap_handlers.is_empty() {
+            return false;
+        }
+        let h = self.config.trap_handlers[self.rng.gen_range(0..self.config.trap_handlers.len())];
+        self.in_trap = true;
+        self.trap_resume_depth = self.stack.len();
+        self.stack.push(Frame { func: h, idx: 0 });
+        true
+    }
+}
+
+impl Iterator for Walker<'_> {
+    type Item = FetchRecord;
+
+    fn next(&mut self) -> Option<FetchRecord> {
+        if self.stack.is_empty() {
+            self.start_transaction();
+        }
+        let frame = *self.stack.last().expect("frame pushed above");
+        let func = self.program.function(frame.func);
+        let pc = func.addr_of(frame.idx);
+        let op = &func.ops[frame.idx as usize];
+
+        let mut record = FetchRecord::plain(pc);
+        match op {
+            StaticOp::Plain { mem } => {
+                let class = match mem {
+                    crate::program::PlainMem::Load => self.draw_load_class(),
+                    crate::program::PlainMem::Store => MemClass::Store,
+                    crate::program::PlainMem::None => MemClass::None,
+                };
+                record.mem = class;
+                self.stack.last_mut().expect("frame").idx += 1;
+            }
+            StaticOp::CondBranch {
+                target,
+                taken_prob,
+                inner_loop,
+            } => {
+                let taken = self.rng.gen_bool(f64::from(*taken_prob).clamp(0.0, 1.0));
+                let target_addr = func.addr_of(*target);
+                record.branch = Some(BranchInfo {
+                    kind: BranchKind::Conditional,
+                    taken,
+                    target: target_addr,
+                    inner_loop: *inner_loop,
+                });
+                let frame = self.stack.last_mut().expect("frame");
+                frame.idx = if taken { *target } else { frame.idx + 1 };
+            }
+            StaticOp::Jump { target } => {
+                let target_addr = func.addr_of(*target);
+                record.branch = Some(BranchInfo {
+                    kind: BranchKind::Jump,
+                    taken: true,
+                    target: target_addr,
+                    inner_loop: false,
+                });
+                self.stack.last_mut().expect("frame").idx = *target;
+            }
+            StaticOp::Call(spec) => {
+                let callee = match spec {
+                    CalleeSpec::Direct(c) => *c,
+                    CalleeSpec::Indirect(cs) => cs[self.rng.gen_range(0..cs.len())],
+                };
+                let target_addr = self.program.function(callee).addr_of(0);
+                record.branch = Some(BranchInfo {
+                    kind: BranchKind::Call,
+                    taken: true,
+                    target: target_addr,
+                    inner_loop: false,
+                });
+                // Return point is the next instruction.
+                self.stack.last_mut().expect("frame").idx += 1;
+                if self.stack.len() < self.config.max_stack {
+                    self.stack.push(Frame {
+                        func: callee,
+                        idx: 0,
+                    });
+                } else {
+                    // Recursion guard: treat as an immediately-returning call.
+                }
+            }
+            StaticOp::Return => {
+                self.stack.pop();
+                let target = match self.stack.last() {
+                    Some(f) => self.program.addr_of(f.func, f.idx),
+                    // Transaction finished; next transaction entry is the
+                    // "return" target for trace continuity purposes.
+                    None => {
+                        self.start_transaction();
+                        let f = self.stack.last().expect("fresh transaction");
+                        self.program.addr_of(f.func, f.idx)
+                    }
+                };
+                if self.in_trap && self.stack.len() <= self.trap_resume_depth {
+                    self.in_trap = false;
+                }
+                record.branch = Some(BranchInfo {
+                    kind: BranchKind::Return,
+                    taken: true,
+                    target,
+                    inner_loop: false,
+                });
+            }
+        }
+
+        // Asynchronous trap: fires *between* instructions; the record is
+        // flagged so consumers know the next PC is an unpredictable
+        // discontinuity.
+        if self.maybe_enter_trap() {
+            record.trap = true;
+        }
+
+        self.instructions += 1;
+        Some(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Function, FunctionBuilder, PlainMem};
+    use crate::types::Addr;
+
+    fn call_chain_program() -> Program {
+        // f0 calls f1 twice; f1 calls f2; f2 is a leaf with a loop.
+        let mut b0 = FunctionBuilder::new();
+        b0.straight(2, PlainMem::None);
+        b0.call(FuncId(1));
+        b0.straight(1, PlainMem::None);
+        b0.call(FuncId(1));
+        let f0 = Function {
+            base: Addr(0x1_0000),
+            ops: b0.finish(),
+        };
+        let mut b1 = FunctionBuilder::new();
+        b1.straight(3, PlainMem::Load);
+        b1.call(FuncId(2));
+        let f1 = Function {
+            base: Addr(0x2_0000),
+            ops: b1.finish(),
+        };
+        let mut b2 = FunctionBuilder::new();
+        let l = b2.begin_loop();
+        b2.straight(2, PlainMem::None);
+        b2.end_loop(l, 3.0, true);
+        let f2 = Function {
+            base: Addr(0x3_0000),
+            ops: b2.finish(),
+        };
+        Program::new(vec![f0, f1, f2])
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = call_chain_program();
+        let take = |seed| -> Vec<FetchRecord> {
+            Walker::new(&p, TransactionMix::single(FuncId(0)), ExecConfig::default(), seed)
+                .take(500)
+                .collect()
+        };
+        assert_eq!(take(7), take(7));
+        assert_ne!(take(7), take(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn control_flow_is_consistent() {
+        // Every record's successor PC must equal target (taken) or pc+4.
+        let p = call_chain_program();
+        let records: Vec<FetchRecord> = Walker::new(
+            &p,
+            TransactionMix::single(FuncId(0)),
+            ExecConfig::default(),
+            99,
+        )
+        .take(2000)
+        .collect();
+        for w in records.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if a.trap {
+                continue; // asynchronous discontinuity
+            }
+            let expected = match a.branch {
+                Some(br) if br.taken => br.target,
+                _ => a.fall_through(),
+            };
+            assert_eq!(
+                b.pc, expected,
+                "discontinuity without branch: {a:?} -> {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn calls_and_returns_balance() {
+        let p = call_chain_program();
+        let records: Vec<FetchRecord> = Walker::new(
+            &p,
+            TransactionMix::single(FuncId(0)),
+            ExecConfig::default(),
+            3,
+        )
+        .take(5000)
+        .collect();
+        let calls = records
+            .iter()
+            .filter(|r| matches!(r.branch, Some(b) if b.kind == BranchKind::Call))
+            .count();
+        let rets = records
+            .iter()
+            .filter(|r| matches!(r.branch, Some(b) if b.kind == BranchKind::Return))
+            .count();
+        // Returns also end transactions, so they can exceed calls by the
+        // number of completed transactions; they must stay in the same range.
+        assert!(rets >= calls / 2, "calls {calls} rets {rets}");
+        assert!(calls > 0 && rets > 0);
+    }
+
+    #[test]
+    fn traps_enter_handlers() {
+        let p = {
+            let mut main = FunctionBuilder::new();
+            main.straight(32, PlainMem::None);
+            let f0 = Function {
+                base: Addr(0x1_0000),
+                ops: main.finish(),
+            };
+            let mut h = FunctionBuilder::new();
+            h.straight(4, PlainMem::None);
+            let f1 = Function {
+                base: Addr(0x8_0000),
+                ops: h.finish(),
+            };
+            Program::new(vec![f0, f1])
+        };
+        let config = ExecConfig {
+            trap_period: 50,
+            trap_handlers: vec![FuncId(1)],
+            ..ExecConfig::default()
+        };
+        let records: Vec<FetchRecord> =
+            Walker::new(&p, TransactionMix::single(FuncId(0)), config, 11)
+                .take(5000)
+                .collect();
+        let trap_count = records.iter().filter(|r| r.trap).count();
+        assert!(trap_count > 10, "expected traps, got {trap_count}");
+        // Handler code must actually execute.
+        assert!(
+            records.iter().any(|r| r.pc.0 >= 0x8_0000),
+            "handler never entered"
+        );
+        // After each trap record, the next PC is the handler entry.
+        for w in records.windows(2) {
+            if w[0].trap {
+                assert_eq!(w[1].pc, Addr(0x8_0000));
+            }
+        }
+    }
+
+    #[test]
+    fn cold_pool_rotates() {
+        let mk_leaf = |base: u64| {
+            let mut b = FunctionBuilder::new();
+            b.straight(4, PlainMem::None);
+            Function {
+                base: Addr(base),
+                ops: b.finish(),
+            }
+        };
+        let p = Program::new(vec![
+            mk_leaf(0x1000),
+            mk_leaf(0x2000),
+            mk_leaf(0x3000),
+            mk_leaf(0x4000),
+        ]);
+        let mix = TransactionMix {
+            entries: vec![(FuncId(0), 1.0)],
+            cold_entries: vec![FuncId(1), FuncId(2), FuncId(3)],
+            cold_prob: 0.5,
+        };
+        let records: Vec<FetchRecord> =
+            Walker::new(&p, mix, ExecConfig::default(), 21).take(400).collect();
+        for base in [0x2000u64, 0x3000, 0x4000] {
+            assert!(
+                records.iter().any(|r| r.pc.0 >= base && r.pc.0 < base + 0x100),
+                "cold entry at {base:#x} never executed"
+            );
+        }
+    }
+
+    #[test]
+    fn load_classes_follow_profile() {
+        let p = {
+            let mut b = FunctionBuilder::new();
+            b.straight(30, PlainMem::Load);
+            Program::new(vec![Function {
+                base: Addr(0x1000),
+                ops: b.finish(),
+            }])
+        };
+        let config = ExecConfig {
+            data: DataProfile {
+                l1d_miss_rate: 0.5,
+                l2_hit_frac: 1.0,
+            },
+            ..ExecConfig::default()
+        };
+        let records: Vec<FetchRecord> =
+            Walker::new(&p, TransactionMix::single(FuncId(0)), config, 5)
+                .take(20_000)
+                .collect();
+        let loads = records.iter().filter(|r| r.mem.is_load()).count();
+        let l2 = records
+            .iter()
+            .filter(|r| r.mem == MemClass::LoadL2)
+            .count();
+        assert!(loads > 1000);
+        let rate = l2 as f64 / loads as f64;
+        assert!((rate - 0.5).abs() < 0.05, "L2 rate {rate} should be ~0.5");
+        assert!(!records.iter().any(|r| r.mem == MemClass::LoadMem));
+    }
+}

@@ -1,0 +1,104 @@
+//! Trace transforms: block-sequence extraction and sequential collapsing.
+//!
+//! The paper's Figure 5 removes all *sequential* misses from the trace
+//! before measuring stream lengths, "to simulate the effect of a perfect
+//! next-line instruction prefetcher": only discontinuous block references
+//! remain. [`collapse_sequential`] implements that transform, and
+//! [`block_transitions`] derives the fetched-block sequence from an
+//! instruction stream.
+
+use crate::record::FetchRecord;
+use crate::types::BlockAddr;
+
+/// Extracts the sequence of fetched cache blocks from an instruction
+/// stream: one entry per block *transition* (consecutive instructions in
+/// the same block collapse to a single reference).
+pub fn block_transitions<I>(records: I) -> Vec<BlockAddr>
+where
+    I: IntoIterator<Item = FetchRecord>,
+{
+    let mut out = Vec::new();
+    let mut last: Option<BlockAddr> = None;
+    for r in records {
+        let b = r.pc.block();
+        if last != Some(b) {
+            out.push(b);
+            last = Some(b);
+        }
+    }
+    out
+}
+
+/// Removes sequential references: any block equal to its predecessor plus
+/// one is dropped, keeping only discontinuous references (paper Figure 5's
+/// "perfect next-line prefetcher" filter).
+pub fn collapse_sequential(blocks: &[BlockAddr]) -> Vec<BlockAddr> {
+    let mut out = Vec::new();
+    let mut prev: Option<BlockAddr> = None;
+    for &b in blocks {
+        match prev {
+            Some(p) if p.is_sequential_successor(b) => {}
+            _ => out.push(b),
+        }
+        prev = Some(b);
+    }
+    out
+}
+
+/// Converts block addresses to the `u64` symbols the analysis crates use.
+pub fn to_symbols(blocks: &[BlockAddr]) -> Vec<u64> {
+    blocks.iter().map(|b| b.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Addr;
+
+    fn rec(pc: u64) -> FetchRecord {
+        FetchRecord::plain(Addr(pc))
+    }
+
+    #[test]
+    fn transitions_collapse_within_block() {
+        // 3 instrs in block 0, 2 in block 1, back to block 0.
+        let rs = vec![rec(0), rec(4), rec(8), rec(64), rec(68), rec(0)];
+        let blocks = block_transitions(rs);
+        assert_eq!(blocks, vec![BlockAddr(0), BlockAddr(1), BlockAddr(0)]);
+    }
+
+    #[test]
+    fn sequential_collapse_keeps_discontinuities() {
+        let blocks = vec![
+            BlockAddr(10),
+            BlockAddr(11),
+            BlockAddr(12),
+            BlockAddr(50),
+            BlockAddr(51),
+            BlockAddr(10),
+        ];
+        let out = collapse_sequential(&blocks);
+        assert_eq!(out, vec![BlockAddr(10), BlockAddr(50), BlockAddr(10)]);
+    }
+
+    #[test]
+    fn collapse_handles_equal_blocks() {
+        // Revisiting the *same* block is not sequential; it is kept.
+        let blocks = vec![BlockAddr(5), BlockAddr(5), BlockAddr(6)];
+        let out = collapse_sequential(&blocks);
+        assert_eq!(out, vec![BlockAddr(5), BlockAddr(5)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(block_transitions(Vec::new()).is_empty());
+        assert!(collapse_sequential(&[]).is_empty());
+        assert!(to_symbols(&[]).is_empty());
+    }
+
+    #[test]
+    fn symbols_roundtrip_values() {
+        let blocks = vec![BlockAddr(3), BlockAddr(9)];
+        assert_eq!(to_symbols(&blocks), vec![3, 9]);
+    }
+}

@@ -1,0 +1,495 @@
+//! Static representation of a synthetic program.
+//!
+//! A [`Program`] is a set of functions laid out in a flat physical address
+//! space, each a vector of [`StaticOp`]s (one per 4-byte instruction slot).
+//! The representation serves two consumers:
+//!
+//! * the [`Walker`](crate::exec::Walker) interprets it to produce the
+//!   committed instruction stream, and
+//! * branch-predictor-directed prefetchers (FDIP) *decode* it, exploring
+//!   control flow ahead of the fetch unit exactly as hardware decodes
+//!   pre-fetched instruction bytes.
+//!
+//! Both views are consistent by construction: a single op encodes the
+//! static structure (targets, callees) while dynamic outcomes (branch
+//! directions, indirect-call choices) are drawn at execution time.
+
+use crate::record::MemClass;
+use crate::types::{Addr, INSTR_BYTES};
+
+/// Identifier of a function within a [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// Index usable for function tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Callee specification of a call site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CalleeSpec {
+    /// Direct call: always the same callee.
+    Direct(FuncId),
+    /// Data-dependent indirect call: a fresh uniform choice per execution.
+    /// This is a primary stream-divergence point (paper Section 3.2).
+    Indirect(Vec<FuncId>),
+}
+
+/// One 4-byte instruction slot.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StaticOp {
+    /// A non-control-transfer instruction, possibly a memory access.
+    Plain {
+        /// Static memory-op class (`None`, load, or store). Loads receive a
+        /// dynamic latency class at execution time.
+        mem: PlainMem,
+    },
+    /// Conditional direct branch to `target` (an instruction index within
+    /// the same function); falls through when not taken.
+    CondBranch {
+        /// Instruction index (within this function) of the taken target.
+        target: u32,
+        /// Probability the branch is taken, drawn fresh each execution.
+        taken_prob: f32,
+        /// Marks the backward branch of an innermost loop.
+        inner_loop: bool,
+    },
+    /// Unconditional direct jump within the function.
+    Jump {
+        /// Instruction index of the target.
+        target: u32,
+    },
+    /// Call; control continues at the next instruction after the callee
+    /// returns.
+    Call(CalleeSpec),
+    /// Return to the caller.
+    Return,
+}
+
+/// Static memory class of a plain instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PlainMem {
+    /// Neither load nor store.
+    #[default]
+    None,
+    /// A load instruction.
+    Load,
+    /// A store instruction.
+    Store,
+}
+
+impl PlainMem {
+    /// The trace-record class for this op with a drawn load latency class.
+    pub fn to_mem_class(self, load_class: MemClass) -> MemClass {
+        match self {
+            PlainMem::None => MemClass::None,
+            PlainMem::Load => load_class,
+            PlainMem::Store => MemClass::Store,
+        }
+    }
+}
+
+/// A function: a base address plus one op per instruction slot.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Address of the first instruction.
+    pub base: Addr,
+    /// Ops, one per instruction, laid out contiguously from `base`.
+    pub ops: Vec<StaticOp>,
+}
+
+impl Function {
+    /// Address of instruction `idx`.
+    #[inline]
+    pub fn addr_of(&self, idx: u32) -> Addr {
+        self.base.add_instrs(idx as u64)
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.ops.len() as u64 * INSTR_BYTES
+    }
+}
+
+/// A decoded instruction reference: which function and instruction index a
+/// PC maps to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InstrRef {
+    /// Containing function.
+    pub func: FuncId,
+    /// Instruction index within the function.
+    pub idx: u32,
+}
+
+/// A complete synthetic program.
+#[derive(Clone, Debug)]
+pub struct Program {
+    functions: Vec<Function>,
+    /// Function ids sorted by base address, for decode.
+    by_base: Vec<u32>,
+    text_bytes: u64,
+}
+
+impl Program {
+    /// Builds a program from functions. Bases must be non-overlapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any function is empty, lacks a terminating semantics
+    /// (callers are expected to end bodies with `Return`), has an
+    /// out-of-range branch target, or overlaps another function.
+    pub fn new(functions: Vec<Function>) -> Program {
+        for (i, f) in functions.iter().enumerate() {
+            assert!(!f.ops.is_empty(), "function {i} is empty");
+            for (j, op) in f.ops.iter().enumerate() {
+                match op {
+                    StaticOp::CondBranch { target, .. } | StaticOp::Jump { target } => {
+                        assert!(
+                            (*target as usize) < f.ops.len(),
+                            "function {i} op {j}: target {target} out of range"
+                        );
+                    }
+                    StaticOp::Call(CalleeSpec::Direct(c)) => {
+                        assert!(
+                            c.index() < functions.len(),
+                            "function {i} op {j}: callee {c:?} out of range"
+                        );
+                    }
+                    StaticOp::Call(CalleeSpec::Indirect(cs)) => {
+                        assert!(!cs.is_empty(), "function {i} op {j}: empty indirect set");
+                        for c in cs {
+                            assert!(c.index() < functions.len());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut by_base: Vec<u32> = (0..functions.len() as u32).collect();
+        by_base.sort_by_key(|&i| functions[i as usize].base);
+        for w in by_base.windows(2) {
+            let a = &functions[w[0] as usize];
+            let b = &functions[w[1] as usize];
+            assert!(
+                a.base.0 + a.size_bytes() <= b.base.0,
+                "functions overlap at {:#x}",
+                b.base.0
+            );
+        }
+        let text_bytes = functions.iter().map(|f| f.size_bytes()).sum();
+        Program {
+            functions,
+            by_base,
+            text_bytes,
+        }
+    }
+
+    /// The function table.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Accesses one function.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Total instruction bytes across all functions (the static footprint).
+    pub fn text_bytes(&self) -> u64 {
+        self.text_bytes
+    }
+
+    /// Address of instruction `idx` of function `f`.
+    #[inline]
+    pub fn addr_of(&self, f: FuncId, idx: u32) -> Addr {
+        self.functions[f.index()].addr_of(idx)
+    }
+
+    /// Decodes a PC to its function and instruction index, or `None` if the
+    /// PC does not map to an instruction (padding, unmapped).
+    pub fn decode(&self, pc: Addr) -> Option<InstrRef> {
+        let pos = self
+            .by_base
+            .partition_point(|&i| self.functions[i as usize].base <= pc);
+        if pos == 0 {
+            return None;
+        }
+        let fid = self.by_base[pos - 1];
+        let f = &self.functions[fid as usize];
+        let off = pc.0.checked_sub(f.base.0)?;
+        if off % INSTR_BYTES != 0 || off >= f.size_bytes() {
+            return None;
+        }
+        Some(InstrRef {
+            func: FuncId(fid),
+            idx: (off / INSTR_BYTES) as u32,
+        })
+    }
+
+    /// The op at a PC, if mapped.
+    pub fn op_at(&self, pc: Addr) -> Option<&StaticOp> {
+        let r = self.decode(pc)?;
+        Some(&self.functions[r.func.index()].ops[r.idx as usize])
+    }
+}
+
+/// Incremental builder for one function body, with structured helpers for
+/// the code shapes the paper discusses: straight-line runs, branch hammocks
+/// (Section 3.1/3.2), and loops.
+///
+/// # Example
+///
+/// ```
+/// use tifs_trace::program::{FunctionBuilder, PlainMem};
+///
+/// let mut b = FunctionBuilder::new();
+/// b.straight(4, PlainMem::None);
+/// b.hammock(3, 0.5, PlainMem::Load); // data-dependent, 3-instr arm
+/// let start = b.begin_loop();
+/// b.straight(6, PlainMem::Load);
+/// b.end_loop(start, 10.0, true); // inner loop, ~10 iterations
+/// let ops = b.finish();
+/// assert!(ops.len() > 10);
+/// ```
+#[derive(Debug, Default)]
+pub struct FunctionBuilder {
+    ops: Vec<StaticOp>,
+}
+
+/// Marker for an open loop started with [`FunctionBuilder::begin_loop`].
+#[derive(Debug, Clone, Copy)]
+#[must_use = "close the loop with end_loop"]
+pub struct LoopStart(u32);
+
+impl FunctionBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> FunctionBuilder {
+        FunctionBuilder { ops: Vec::new() }
+    }
+
+    /// Current instruction count.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if no ops have been added.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends `n` plain instructions; memory instructions are interspersed
+    /// with the given class every third slot (a rough commercial-code mix is
+    /// produced by callers alternating classes).
+    pub fn straight(&mut self, n: u32, mem: PlainMem) -> &mut Self {
+        for i in 0..n {
+            let m = if mem != PlainMem::None && i % 3 == 0 {
+                mem
+            } else {
+                PlainMem::None
+            };
+            self.ops.push(StaticOp::Plain { mem: m });
+        }
+        self
+    }
+
+    /// Appends one plain instruction with an explicit memory class.
+    pub fn instr(&mut self, mem: PlainMem) -> &mut Self {
+        self.ops.push(StaticOp::Plain { mem });
+        self
+    }
+
+    /// Appends a branch hammock: a conditional branch that skips over an
+    /// `arm`-instruction then-arm with probability `skip_prob`, re-converging
+    /// after the arm (paper Figure 2).
+    pub fn hammock(&mut self, arm: u32, skip_prob: f32, mem: PlainMem) -> &mut Self {
+        let branch_idx = self.ops.len() as u32;
+        self.ops.push(StaticOp::CondBranch {
+            target: branch_idx + 1 + arm,
+            taken_prob: skip_prob,
+            inner_loop: false,
+        });
+        self.straight(arm, mem);
+        self
+    }
+
+    /// Opens a loop; the returned marker is passed to
+    /// [`end_loop`](Self::end_loop).
+    pub fn begin_loop(&mut self) -> LoopStart {
+        LoopStart(self.ops.len() as u32)
+    }
+
+    /// Closes a loop with a backward conditional branch taken with
+    /// probability `1 - 1/avg_iters` (geometric iteration count).
+    /// `inner` marks innermost loops for the Figure 10 filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `avg_iters < 1.0`.
+    pub fn end_loop(&mut self, start: LoopStart, avg_iters: f64, inner: bool) -> &mut Self {
+        assert!(avg_iters >= 1.0, "loops iterate at least once");
+        let p = 1.0 - 1.0 / avg_iters;
+        self.ops.push(StaticOp::CondBranch {
+            target: start.0,
+            taken_prob: p as f32,
+            inner_loop: inner,
+        });
+        self
+    }
+
+    /// Appends a direct call site.
+    pub fn call(&mut self, callee: FuncId) -> &mut Self {
+        self.ops.push(StaticOp::Call(CalleeSpec::Direct(callee)));
+        self
+    }
+
+    /// Appends a data-dependent indirect call site choosing uniformly among
+    /// `callees` at each execution.
+    pub fn call_indirect(&mut self, callees: Vec<FuncId>) -> &mut Self {
+        assert!(!callees.is_empty(), "indirect call needs candidates");
+        self.ops.push(StaticOp::Call(CalleeSpec::Indirect(callees)));
+        self
+    }
+
+    /// Appends a conditional branch to an absolute instruction index within
+    /// this function. Used for hammocks whose arm contains non-plain ops
+    /// (e.g. a whole call site); the caller is responsible for ensuring the
+    /// target lands on a valid instruction.
+    pub fn cond_branch_to(&mut self, target: u32, taken_prob: f32) -> &mut Self {
+        self.ops.push(StaticOp::CondBranch {
+            target,
+            taken_prob,
+            inner_loop: false,
+        });
+        self
+    }
+
+    /// Appends an unconditional forward jump over `skip` instructions.
+    pub fn jump_over(&mut self, skip: u32) -> &mut Self {
+        let idx = self.ops.len() as u32;
+        self.ops.push(StaticOp::Jump {
+            target: idx + 1 + skip,
+        });
+        self.straight(skip, PlainMem::None);
+        self
+    }
+
+    /// Terminates the body with a `Return` and yields the ops.
+    pub fn finish(mut self) -> Vec<StaticOp> {
+        self.ops.push(StaticOp::Return);
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_program() -> Program {
+        let mut main = FunctionBuilder::new();
+        main.straight(4, PlainMem::Load);
+        main.call(FuncId(1));
+        main.straight(2, PlainMem::None);
+        let f0 = Function {
+            base: Addr(0x1000),
+            ops: main.finish(),
+        };
+        let mut leaf = FunctionBuilder::new();
+        leaf.straight(3, PlainMem::Store);
+        let f1 = Function {
+            base: Addr(0x2000),
+            ops: leaf.finish(),
+        };
+        Program::new(vec![f0, f1])
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let p = tiny_program();
+        for (fi, f) in p.functions().iter().enumerate() {
+            for idx in 0..f.ops.len() as u32 {
+                let pc = p.addr_of(FuncId(fi as u32), idx);
+                let r = p.decode(pc).expect("mapped");
+                assert_eq!(r.func, FuncId(fi as u32));
+                assert_eq!(r.idx, idx);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_unmapped() {
+        let p = tiny_program();
+        assert_eq!(p.decode(Addr(0x0)), None);
+        assert_eq!(p.decode(Addr(0x1001)), None, "misaligned");
+        assert_eq!(p.decode(Addr(0x9_0000)), None, "past end");
+        // Past the end of function 0 but before function 1.
+        assert_eq!(p.decode(Addr(0x1800)), None);
+    }
+
+    #[test]
+    fn text_bytes_counts_all() {
+        let p = tiny_program();
+        assert_eq!(p.text_bytes(), (8 + 4) * INSTR_BYTES);
+    }
+
+    #[test]
+    fn hammock_targets_reconverge() {
+        let mut b = FunctionBuilder::new();
+        b.straight(2, PlainMem::None);
+        b.hammock(3, 0.5, PlainMem::None);
+        b.straight(1, PlainMem::None);
+        let ops = b.finish();
+        match &ops[2] {
+            StaticOp::CondBranch { target, .. } => assert_eq!(*target, 6),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_targets_backward() {
+        let mut b = FunctionBuilder::new();
+        b.straight(1, PlainMem::None);
+        let l = b.begin_loop();
+        b.straight(4, PlainMem::None);
+        b.end_loop(l, 8.0, true);
+        let ops = b.finish();
+        match &ops[5] {
+            StaticOp::CondBranch {
+                target,
+                taken_prob,
+                inner_loop,
+            } => {
+                assert_eq!(*target, 1);
+                assert!(*inner_loop);
+                assert!((*taken_prob - 0.875).abs() < 1e-6);
+            }
+            other => panic!("expected loop branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target")]
+    fn out_of_range_target_rejected() {
+        let f = Function {
+            base: Addr(0x1000),
+            ops: vec![
+                StaticOp::Jump { target: 99 },
+                StaticOp::Return,
+            ],
+        };
+        Program::new(vec![f]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_functions_rejected() {
+        let mk = |base| Function {
+            base: Addr(base),
+            ops: vec![StaticOp::Return; 8],
+        };
+        Program::new(vec![mk(0x1000), mk(0x1010)]);
+    }
+}

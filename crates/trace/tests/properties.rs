@@ -1,0 +1,137 @@
+//! Property-based tests for the trace substrate: codec round-trips,
+//! control-flow consistency, and generator determinism.
+
+use proptest::prelude::*;
+use tifs_trace::codec::{read_trace, write_trace};
+use tifs_trace::filter::{block_transitions, collapse_sequential};
+use tifs_trace::workload::{Workload, WorkloadSpec};
+use tifs_trace::{Addr, BlockAddr, BranchInfo, BranchKind, FetchRecord, MemClass};
+
+fn arb_mem() -> impl Strategy<Value = MemClass> {
+    prop_oneof![
+        Just(MemClass::None),
+        Just(MemClass::LoadL1),
+        Just(MemClass::LoadL2),
+        Just(MemClass::LoadMem),
+        Just(MemClass::Store),
+    ]
+}
+
+fn arb_kind() -> impl Strategy<Value = BranchKind> {
+    prop_oneof![
+        Just(BranchKind::Conditional),
+        Just(BranchKind::Jump),
+        Just(BranchKind::Call),
+        Just(BranchKind::Return),
+    ]
+}
+
+prop_compose! {
+    fn arb_record()(
+        pc in 0u64..1u64 << 40,
+        mem in arb_mem(),
+        trap in any::<bool>(),
+        branch in proptest::option::of((arb_kind(), any::<bool>(), 0u64..1u64 << 40, any::<bool>())),
+    ) -> FetchRecord {
+        FetchRecord {
+            pc: Addr(pc & !3), // instruction-aligned
+            mem,
+            trap,
+            branch: branch.map(|(kind, taken, target, inner_loop)| BranchInfo {
+                kind,
+                taken,
+                target: Addr(target & !3),
+                inner_loop,
+            }),
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrips_arbitrary_records(records in prop::collection::vec(arb_record(), 0..200)) {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &records).expect("encode");
+        let back = read_trace(&mut buf.as_slice()).expect("decode");
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn codec_rejects_any_truncation(records in prop::collection::vec(arb_record(), 1..50)) {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &records).expect("encode");
+        // Any strict prefix long enough to carry the header must fail
+        // rather than return wrong data.
+        let cut = buf.len() - 1;
+        if cut >= 16 {
+            prop_assert!(read_trace(&mut buf[..cut].as_ref()).is_err());
+        }
+    }
+
+    #[test]
+    fn collapse_drops_exactly_the_sequential_successors(blocks in prop::collection::vec(0u64..64, 0..100)) {
+        // The transform is single-pass over *original* predecessors (the
+        // paper's definition: a miss is sequential if the preceding miss
+        // in the trace was to the previous block).
+        let blocks: Vec<BlockAddr> = blocks.into_iter().map(BlockAddr).collect();
+        let out = collapse_sequential(&blocks);
+        let expected: Vec<BlockAddr> = blocks
+            .iter()
+            .enumerate()
+            .filter(|&(i, &b)| i == 0 || !blocks[i - 1].is_sequential_successor(b))
+            .map(|(_, &b)| b)
+            .collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn collapse_preserves_first_and_nonsequential(blocks in prop::collection::vec(0u64..64, 1..100)) {
+        let blocks: Vec<BlockAddr> = blocks.into_iter().map(BlockAddr).collect();
+        let out = collapse_sequential(&blocks);
+        prop_assert_eq!(out.first(), blocks.first());
+        prop_assert!(out.len() <= blocks.len());
+    }
+
+    #[test]
+    fn walker_streams_are_deterministic(seed in 0u64..1000) {
+        let w = Workload::build(&WorkloadSpec::tiny_test(), seed);
+        let a: Vec<FetchRecord> = w.walker(0).take(2000).collect();
+        let b: Vec<FetchRecord> = w.walker(0).take(2000).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn walker_control_flow_consistent(seed in 0u64..200) {
+        let w = Workload::build(&WorkloadSpec::tiny_test(), seed);
+        let records: Vec<FetchRecord> = w.walker(0).take(3000).collect();
+        for pair in records.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            if a.trap {
+                continue;
+            }
+            let expected = match a.branch {
+                Some(br) if br.taken => br.target,
+                _ => a.fall_through(),
+            };
+            prop_assert_eq!(b.pc, expected);
+        }
+    }
+
+    #[test]
+    fn block_transitions_never_repeat_adjacent(seed in 0u64..200) {
+        let w = Workload::build(&WorkloadSpec::tiny_test(), seed);
+        let records: Vec<FetchRecord> = w.walker(0).take(3000).collect();
+        let blocks = block_transitions(records);
+        for pair in blocks.windows(2) {
+            prop_assert_ne!(pair[0], pair[1], "transitions collapse same-block runs");
+        }
+    }
+
+    #[test]
+    fn all_pcs_decode_in_program(seed in 0u64..100) {
+        let w = Workload::build(&WorkloadSpec::tiny_test(), seed);
+        for rec in w.walker(1).take(2000) {
+            prop_assert!(w.program.decode(rec.pc).is_some(), "pc {:?} unmapped", rec.pc);
+        }
+    }
+}
