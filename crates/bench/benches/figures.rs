@@ -47,10 +47,14 @@ fn bench_trace_analyses(c: &mut Criterion) {
     g.bench_function("fig03_categorization", |b| {
         b.iter(|| fig03::run(&cfg).len())
     });
-    g.bench_function("fig05_stream_lengths", |b| b.iter(|| fig05::run(&cfg).len()));
+    g.bench_function("fig05_stream_lengths", |b| {
+        b.iter(|| fig05::run(&cfg).len())
+    });
     g.bench_function("fig06_heuristics", |b| b.iter(|| fig06::run(&cfg).len()));
     g.bench_function("fig10_lookahead", |b| b.iter(|| fig10::run(&cfg).len()));
-    g.bench_function("fig11_capacity_sweep", |b| b.iter(|| fig11::run(&cfg).len()));
+    g.bench_function("fig11_capacity_sweep", |b| {
+        b.iter(|| fig11::run(&cfg).len())
+    });
     g.finish();
 }
 

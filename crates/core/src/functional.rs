@@ -128,9 +128,7 @@ impl FunctionalTifs {
         } else {
             // Stream lookup (Recent heuristic via the shared index).
             match self.index.lookup(block) {
-                Some(ImlPtr { core: src, pos })
-                    if self.imls[src as usize].is_valid(pos) =>
-                {
+                Some(ImlPtr { core: src, pos }) if self.imls[src as usize].is_valid(pos) => {
                     let clock = self.clock;
                     let victim = self.streams[core]
                         .iter_mut()

@@ -140,7 +140,7 @@ mod tests {
                 svb_hit: false
             })
         );
-        assert_eq!(iml.get(1).unwrap().svb_hit, true);
+        assert!(iml.get(1).unwrap().svb_hit);
         assert_eq!(iml.get(2), None);
     }
 

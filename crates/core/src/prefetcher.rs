@@ -44,7 +44,7 @@ pub enum ImlStorage {
 }
 
 /// TIFS configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TifsConfig {
     /// IML organization.
     pub storage: ImlStorage,
@@ -357,9 +357,7 @@ impl IPrefetcher for TifsPrefetcher {
         // SVB miss: locate the most recent occurrence and start a stream.
         self.lookups += 1;
         match self.index.lookup(block) {
-            Some(ImlPtr { core: src, pos })
-                if self.imls[src as usize].is_valid(pos) =>
-            {
+            Some(ImlPtr { core: src, pos }) if self.imls[src as usize].is_valid(pos) => {
                 let sid = self.svbs[core].allocate_stream(ctx.now, src, pos + 1);
                 self.streams_allocated += 1;
                 self.refill_stream(ctx, core, sid);
@@ -382,7 +380,11 @@ impl IPrefetcher for TifsPrefetcher {
         if self.virtualized() && (pos + 1) % ENTRIES_PER_L2_BLOCK as u64 == 0 {
             // A group filled: write it back to the L2 data array.
             let addr = Self::iml_region_block(core, pos);
-            if ctx.l2.request(ctx.now, addr, L2ReqKind::ImlWrite, None).is_some() {
+            if ctx
+                .l2
+                .request(ctx.now, addr, L2ReqKind::ImlWrite, None)
+                .is_some()
+            {
                 self.iml_writes += 1;
             }
         }
@@ -492,7 +494,11 @@ mod tests {
         let w = Workload::build(&WorkloadSpec::web_zeus(), 5);
         let n = 400_000;
         let base = run_with(&w, Box::new(NullPrefetcher), n);
-        let tifs = run_with(&w, Box::new(TifsPrefetcher::new(1, TifsConfig::virtualized())), n);
+        let tifs = run_with(
+            &w,
+            Box::new(TifsPrefetcher::new(1, TifsConfig::virtualized())),
+            n,
+        );
         assert!(base.cores[0].baseline_misses() > 500);
         let cov = tifs.cores[0].coverage();
         assert!(cov > 0.3, "TIFS coverage too low: {cov}");

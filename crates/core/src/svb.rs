@@ -142,13 +142,16 @@ impl Svb {
     /// Moves arrived prefetches into the buffer; evictions of never-used
     /// blocks count as discards (paper Section 6.4).
     pub fn drain_arrivals(&mut self, now: u64) {
-        let done: Vec<BlockAddr> = self
+        // Arrival order (ties by address): the buffer is LRU-ordered, so
+        // draining in HashMap order would make evictions nondeterministic.
+        let mut done: Vec<(u64, BlockAddr)> = self
             .inflight
             .iter()
             .filter(|&(_, e)| e.ready <= now)
-            .map(|(&b, _)| b)
+            .map(|(&b, e)| (e.ready, b))
             .collect();
-        for b in done {
+        done.sort_unstable_by_key(|&(r, b)| (r, b.0));
+        for (_, b) in done {
             let e = self.inflight.remove(&b).expect("present");
             if self.buffer.len() == self.capacity {
                 self.buffer.pop();

@@ -8,86 +8,64 @@
 //! * shared vs. effectively-private Index Table (cross-core stream
 //!   following, paper Section 5.1).
 //!
+//! Every configuration is one [`SystemSpec::tifs`] cell of a single
+//! engine grid, so the whole table runs in parallel.
+//!
 //! ```sh
 //! cargo run --release -p tifs-experiments --bin ablations [--instructions N]
 //! ```
 
-use tifs_core::{TifsConfig, TifsPrefetcher};
-use tifs_experiments::harness::{run_system, ExpConfig, SystemKind};
+use tifs_core::TifsConfig;
+use tifs_experiments::engine::{ExperimentGrid, SystemSpec};
+use tifs_experiments::harness::{ExpConfig, SystemKind};
 use tifs_experiments::report::render_table;
-use tifs_sim::cmp::Cmp;
-use tifs_sim::config::SystemConfig;
-use tifs_trace::workload::{Workload, WorkloadSpec};
-use tifs_trace::FetchRecord;
-
-fn run_tifs(workload: &Workload, tc: TifsConfig, cfg: &ExpConfig) -> tifs_sim::stats::SimReport {
-    let sys = SystemConfig::table2();
-    let streams: Vec<_> = (0..sys.num_cores)
-        .map(|c| Box::new(workload.walker(c)) as Box<dyn Iterator<Item = FetchRecord>>)
-        .collect();
-    let pf = TifsPrefetcher::new(sys.num_cores, tc);
-    let mut cmp = Cmp::new(sys, streams, Box::new(pf));
-    cmp.run_with_warmup(cfg.warmup, cfg.instructions)
-}
+use tifs_trace::workload::WorkloadSpec;
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let workload = Workload::build(&WorkloadSpec::oltp_db2(), cfg.seed);
     println!(
         "TIFS ablations on OLTP DB2 ({} instructions/core + warmup, 4 cores)\n",
         cfg.instructions
     );
-    let base = run_system(&workload, SystemKind::NextLine, &cfg);
-    let base_ipc = base.aggregate_ipc();
-
-    let mut rows = Vec::new();
-    let mut measure = |label: &str, tc: TifsConfig| {
-        let r = run_tifs(&workload, tc, &cfg);
-        rows.push(vec![
-            label.to_string(),
-            format!("{:.3}", r.aggregate_ipc() / base_ipc),
-            format!("{:.1}%", 100.0 * r.coverage()),
-            format!("{:.0}", r.prefetcher_counter("discards").unwrap_or(0.0)),
-            format!("{:.0}", r.prefetcher_counter("streams").unwrap_or(0.0)),
-            format!("{}", r.l2.iml_traffic()),
-        ]);
-    };
 
     let dflt = TifsConfig::virtualized();
-    measure("default (EOS on, rate 8, 4 ctx)", dflt);
-    measure(
-        "no end-of-stream detection",
-        TifsConfig {
-            end_of_stream: false,
-            ..dflt
-        },
-    );
+    let mut systems: Vec<SystemSpec> = vec![
+        SystemKind::NextLine.into(),
+        SystemSpec::tifs("default (EOS on, rate 8, 4 ctx)", dflt),
+        SystemSpec::tifs(
+            "no end-of-stream detection",
+            TifsConfig {
+                end_of_stream: false,
+                ..dflt
+            },
+        ),
+    ];
     for rate in [2usize, 4, 16] {
-        measure(
-            &format!("rate target {rate}"),
+        systems.push(SystemSpec::tifs(
+            format!("rate target {rate}"),
             TifsConfig {
                 rate_target: rate,
                 ..dflt
             },
-        );
+        ));
     }
     for ctx in [1usize, 2, 8] {
-        measure(
-            &format!("{ctx} stream context(s)"),
+        systems.push(SystemSpec::tifs(
+            format!("{ctx} stream context(s)"),
             TifsConfig {
                 stream_contexts: ctx,
                 ..dflt
             },
-        );
+        ));
     }
-    measure(
+    systems.push(SystemSpec::tifs(
         "small SVB (1 KB / 16 blocks)",
         TifsConfig {
             svb_blocks: 16,
             ..dflt
         },
-    );
-    measure(
+    ));
+    systems.push(SystemSpec::tifs(
         "tiny IML (1K entries/core)",
         TifsConfig {
             storage: tifs_core::ImlStorage::Virtualized {
@@ -95,12 +73,41 @@ fn main() {
             },
             ..dflt
         },
-    );
+    ));
+
+    let results = ExperimentGrid::new(cfg)
+        .workloads([WorkloadSpec::oltp_db2()])
+        .systems(systems)
+        .run();
+    let row = results.row(0);
+    let base_ipc = row.ipc(SystemKind::NextLine);
+
+    let rows: Vec<Vec<String>> = row
+        .iter()
+        .filter(|(spec, _)| **spec != SystemSpec::Kind(SystemKind::NextLine))
+        .map(|(spec, r)| {
+            vec![
+                spec.name(),
+                format!("{:.3}", r.aggregate_ipc() / base_ipc),
+                format!("{:.1}%", 100.0 * r.coverage()),
+                format!("{:.0}", r.prefetcher_counter("discards").unwrap_or(0.0)),
+                format!("{:.0}", r.prefetcher_counter("streams").unwrap_or(0.0)),
+                format!("{}", r.l2.iml_traffic()),
+            ]
+        })
+        .collect();
 
     println!(
         "{}",
         render_table(
-            &["configuration", "speedup", "coverage", "discards", "streams", "IML traffic"],
+            &[
+                "configuration",
+                "speedup",
+                "coverage",
+                "discards",
+                "streams",
+                "IML traffic"
+            ],
             &rows
         )
     );

@@ -1,8 +1,12 @@
 //! Regenerates every table and figure in sequence (the full evaluation).
+//!
+//! All cells route through the experiment engine: the six workloads are
+//! built once into a shared [`Lab`], the trace analyses reuse its cached
+//! miss traces, and every figure fans its (workload × system) cells out
+//! across threads (`TIFS_THREADS` overrides the worker count).
 
-use tifs_experiments::figures::{
-    fig01, fig03, fig05, fig06, fig10, fig11, fig12, fig13, tables,
-};
+use tifs_experiments::engine::Lab;
+use tifs_experiments::figures::{fig01, fig03, fig05, fig06, fig10, fig11, fig12, fig13, tables};
 use tifs_experiments::harness::ExpConfig;
 
 fn main() {
@@ -12,18 +16,22 @@ fn main() {
         "instructions/core: {} (+{} warmup), seed {}\n",
         cfg.instructions, cfg.warmup, cfg.seed
     );
-    println!("{}", tables::render_table1(cfg.seed));
+    let lab = Lab::all_six(cfg);
+    println!("{}", tables::render_table1_on(&lab));
     println!("{}", tables::render_table2());
     let t = std::time::Instant::now();
-    println!("{}", fig03::render(&fig03::run(&cfg)));
-    println!("{}", fig05::render(&fig05::run(&cfg)));
-    println!("{}", fig06::render(&fig06::run(&cfg)));
-    println!("{}", fig10::render(&fig10::run(&cfg)));
-    println!("{}", fig11::render(&fig11::run(&cfg)));
-    println!("[trace analyses done in {:.0}s]\n", t.elapsed().as_secs_f64());
+    println!("{}", fig03::render(&fig03::run_on(&lab)));
+    println!("{}", fig05::render(&fig05::run_on(&lab)));
+    println!("{}", fig06::render(&fig06::run_on(&lab)));
+    println!("{}", fig10::render(&fig10::run_on(&lab)));
+    println!("{}", fig11::render(&fig11::run_on(&lab)));
+    println!(
+        "[trace analyses done in {:.0}s]\n",
+        t.elapsed().as_secs_f64()
+    );
     let t = std::time::Instant::now();
-    println!("{}", fig01::render(&fig01::run(&cfg)));
-    println!("{}", fig12::render(&fig12::run(&cfg)));
-    println!("{}", fig13::render(&fig13::run(&cfg)));
+    println!("{}", fig01::render(&fig01::run_on(&lab)));
+    println!("{}", fig12::render(&fig12::run_on(&lab)));
+    println!("{}", fig13::render(&fig13::run_on(&lab)));
     println!("[timing studies done in {:.0}s]", t.elapsed().as_secs_f64());
 }

@@ -3,26 +3,38 @@
 //! stream length, Recent-heuristic coverage). Used when retuning the
 //! synthetic workload parameters; see DESIGN.md §1 for the target shapes.
 //!
+//! Workloads build and analyze in parallel through the engine [`Lab`].
+//!
 //! ```sh
 //! cargo run --release -p tifs-experiments --bin calibrate [instructions]
 //! ```
 
+use tifs_experiments::engine::Lab;
+use tifs_experiments::harness::ExpConfig;
 use tifs_sequitur::categorize::{categorize, CategoryCounts};
 use tifs_sequitur::heuristics::{evaluate_heuristic, Heuristic, HeuristicConfig};
 use tifs_sequitur::streams::stream_occurrences;
 use tifs_sequitur::LengthCdf;
 use tifs_sim::{miss_trace_with_model, SystemConfig};
 use tifs_trace::filter::collapse_sequential;
-use tifs_trace::workload::{Workload, WorkloadSpec};
 
 fn main() {
-    let n: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000_000);
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    let exp = ExpConfig {
+        instructions: n,
+        ..ExpConfig::default()
+    };
     let cfg = SystemConfig::table2();
-    for spec in WorkloadSpec::all_six() {
+    let lab = Lab::all_six(exp);
+    let rows = lab.analyze(|ctx| {
         let t0 = std::time::Instant::now();
-        let w = Workload::build(&spec, 42);
-        let records: Vec<_> = w.walker(0).take(n as usize).collect();
-        let (miss, model) = miss_trace_with_model(records.iter().copied(), &cfg);
+        // Core 0 only, with the totals-reporting model (the lab cache
+        // holds traces alone), at the calibration instruction count.
+        let records = ctx.workload().walker(0).take(n as usize);
+        let (miss, model) = miss_trace_with_model(records, &cfg);
         let trace: Vec<u64> = miss.iter().map(|b| b.0).collect();
         let counts = CategoryCounts::from_classes(&categorize(&trace));
         // Fig 5: collapse sequential then stream lengths
@@ -32,11 +44,11 @@ fn main() {
         // Fig 6: Recent heuristic coverage
         let recent = evaluate_heuristic(&trace, &HeuristicConfig::new(Heuristic::Recent));
         let opp = evaluate_heuristic(&trace, &HeuristicConfig::new(Heuristic::Opportunity));
-        let (acc, misses) = model.totals();
-        println!(
+        let (_acc, misses) = model.totals();
+        format!(
             "{:12} text={:6}KB txn miss/1k-instr={:5.1} missrate={:5.3} misses={:7} rep={:5.3} opp={:5.3} medlen={:4} recent={:5.3} oppcov={:5.3}  [{:.1}s]",
-            spec.name,
-            w.program.text_bytes() / 1024,
+            ctx.spec().name,
+            ctx.workload().program.text_bytes() / 1024,
             1000.0 * misses as f64 / n as f64,
             model.miss_rate(),
             trace.len(),
@@ -46,7 +58,9 @@ fn main() {
             recent.coverage(),
             opp.coverage(),
             t0.elapsed().as_secs_f64(),
-        );
-        let _ = acc;
+        )
+    });
+    for line in rows {
+        println!("{line}");
     }
 }

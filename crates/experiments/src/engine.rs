@@ -1,0 +1,643 @@
+//! The shared experiment engine.
+//!
+//! Every figure, table, and binary of the evaluation is a grid of
+//! *cells* — (workload × system) simulations under one [`ExpConfig`] and
+//! one [`SystemConfig`] — or an *analysis* over per-workload miss traces.
+//! This module is the single place that
+//!
+//! * builds each [`Workload`] **once** and shares it across every system
+//!   measured on it (a build costs as much as a short timing run);
+//! * constructs core fetch streams and prefetchers ([`run_cell`] is the
+//!   only stream-construction site in the experiments crate);
+//! * fans independent cells out across threads ([`par::map`], a
+//!   rayon-style ordered parallel map on `std::thread::scope` — the
+//!   workspace builds offline and cannot depend on rayon itself);
+//! * caches per-workload L1-I miss traces so the SEQUITUR analyses share
+//!   one functional-model pass ([`Lab::miss_traces`]).
+//!
+//! Cells are deterministic: a grid produces bit-identical [`SimReport`]s
+//! whether run serially or in parallel, because every cell derives its
+//! state only from (spec, seed, system) — verified by the
+//! `engine_determinism` integration test.
+//!
+//! ```
+//! use tifs_experiments::engine::ExperimentGrid;
+//! use tifs_experiments::harness::{ExpConfig, SystemKind};
+//! use tifs_sim::config::SystemConfig;
+//! use tifs_trace::workload::WorkloadSpec;
+//!
+//! let cfg = ExpConfig { instructions: 5_000, warmup: 5_000, seed: 3 };
+//! let grid = ExperimentGrid::new(cfg)
+//!     .with_system_config(SystemConfig::single_core())
+//!     .workloads([WorkloadSpec::tiny_test()])
+//!     .systems([SystemKind::NextLine, SystemKind::TifsVirtualized]);
+//! let results = grid.run();
+//! let row = results.row(0);
+//! assert!(row.speedup_over(SystemKind::TifsVirtualized, SystemKind::NextLine) > 0.0);
+//! ```
+
+use std::sync::OnceLock;
+
+use tifs_core::{TifsConfig, TifsPrefetcher};
+use tifs_prefetch::{
+    DiscontinuityConfig, DiscontinuityPrefetcher, Fdip, FdipConfig, ProbabilisticPrefetcher,
+};
+use tifs_sim::cmp::Cmp;
+use tifs_sim::config::SystemConfig;
+use tifs_sim::prefetch::{IPrefetcher, NullPrefetcher};
+use tifs_sim::stats::SimReport;
+use tifs_trace::workload::{Workload, WorkloadSpec};
+use tifs_trace::{BlockAddr, FetchRecord};
+
+use crate::harness::{ExpConfig, SystemKind};
+
+/// Cores the cached analysis miss traces are collected for (the paper's
+/// trace studies use the 4-core CMP).
+pub const ANALYSIS_CORES: usize = 4;
+
+/// Rayon-style ordered parallel map over borrowed items, built on
+/// `std::thread::scope` (the workspace builds offline, so rayon itself is
+/// unavailable; this mirrors its work-distribution semantics for the
+/// engine's needs).
+pub mod par {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    /// Worker count: `TIFS_THREADS` if set (1 forces serial), else the
+    /// machine's available parallelism.
+    pub fn parallelism() -> usize {
+        if let Some(n) = std::env::var("TIFS_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// Applies `f` to every item, distributing items over `threads`
+    /// workers, and returns results in item order. `threads <= 1` runs
+    /// inline. Results are identical to the serial order-preserving map
+    /// for any pure `f`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` (the scope joins all workers first).
+    pub fn map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = threads.min(n);
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let f = &f;
+        let next = &next;
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // A send only fails if the receiver is gone, which
+                    // means the scope is already unwinding.
+                    if tx.send((i, f(i, &items[i]))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, r) in rx {
+                slots[i] = Some(r);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("worker filled slot"))
+            .collect()
+    }
+}
+
+/// A system to measure: a named baseline/TIFS variant, or an arbitrary
+/// TIFS configuration (the ablation studies).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SystemSpec {
+    /// One of the paper's named systems.
+    Kind(SystemKind),
+    /// TIFS under an explicit configuration.
+    Tifs {
+        /// Display label for tables.
+        label: String,
+        /// The configuration under test.
+        config: TifsConfig,
+    },
+}
+
+impl From<SystemKind> for SystemSpec {
+    fn from(kind: SystemKind) -> SystemSpec {
+        SystemSpec::Kind(kind)
+    }
+}
+
+impl SystemSpec {
+    /// A labelled TIFS ablation cell.
+    pub fn tifs(label: impl Into<String>, config: TifsConfig) -> SystemSpec {
+        SystemSpec::Tifs {
+            label: label.into(),
+            config,
+        }
+    }
+
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> String {
+        match self {
+            SystemSpec::Kind(k) => k.name(),
+            SystemSpec::Tifs { label, .. } => label.clone(),
+        }
+    }
+}
+
+/// Builds the prefetcher for a system over a given workload (the one
+/// prefetcher-construction site of the experiments layer).
+pub fn build_prefetcher<'a>(
+    system: &SystemSpec,
+    workload: &'a Workload,
+    sys: &SystemConfig,
+    seed: u64,
+) -> Box<dyn IPrefetcher + 'a> {
+    let kind = match system {
+        SystemSpec::Tifs { config, .. } => {
+            return Box::new(TifsPrefetcher::new(sys.num_cores, *config));
+        }
+        SystemSpec::Kind(kind) => *kind,
+    };
+    match kind {
+        SystemKind::NextLine => Box::new(NullPrefetcher),
+        SystemKind::Fdip => Box::new(Fdip::new(
+            &workload.program,
+            sys.num_cores,
+            FdipConfig::default(),
+        )),
+        SystemKind::Discontinuity => Box::new(DiscontinuityPrefetcher::new(
+            sys.num_cores,
+            DiscontinuityConfig::default(),
+        )),
+        SystemKind::TifsUnbounded => {
+            Box::new(TifsPrefetcher::new(sys.num_cores, TifsConfig::unbounded()))
+        }
+        SystemKind::TifsDedicated => {
+            Box::new(TifsPrefetcher::new(sys.num_cores, TifsConfig::dedicated()))
+        }
+        SystemKind::TifsVirtualized => Box::new(TifsPrefetcher::new(
+            sys.num_cores,
+            TifsConfig::virtualized(),
+        )),
+        SystemKind::Probabilistic(p) => Box::new(ProbabilisticPrefetcher::new(p, seed ^ 0x9D)),
+        SystemKind::Perfect => Box::new(ProbabilisticPrefetcher::perfect(seed ^ 0x9D)),
+    }
+}
+
+/// Runs one grid cell: `system` over `workload` on the `sys` CMP. The
+/// only place in the experiments crate that constructs core fetch
+/// streams.
+pub fn run_cell(
+    workload: &Workload,
+    system: &SystemSpec,
+    exp: &ExpConfig,
+    sys: &SystemConfig,
+) -> SimReport {
+    let streams: Vec<_> = (0..sys.num_cores)
+        .map(|c| Box::new(workload.walker(c)) as Box<dyn Iterator<Item = FetchRecord>>)
+        .collect();
+    let pf = build_prefetcher(system, workload, sys, exp.seed);
+    let mut cmp = Cmp::new(sys.clone(), streams, pf);
+    cmp.run_with_warmup(exp.warmup, exp.instructions)
+}
+
+/// A set of workloads built once and shared by every figure that runs on
+/// them: the substrate under both timing grids ([`ExperimentGrid::run_on`])
+/// and trace analyses ([`Lab::analyze`]).
+pub struct Lab {
+    exp: ExpConfig,
+    specs: Vec<WorkloadSpec>,
+    workloads: Vec<Workload>,
+    traces: Vec<OnceLock<Vec<Vec<BlockAddr>>>>,
+}
+
+impl Lab {
+    /// Builds every workload (in parallel, each exactly once).
+    pub fn build(specs: Vec<WorkloadSpec>, exp: ExpConfig) -> Lab {
+        Lab::build_with_threads(specs, exp, par::parallelism())
+    }
+
+    /// As [`build`](Self::build), with an explicit worker count
+    /// ([`ExperimentGrid`] forwards its own setting here so `serial()`
+    /// grids really are serial end to end).
+    pub fn build_with_threads(specs: Vec<WorkloadSpec>, exp: ExpConfig, threads: usize) -> Lab {
+        let workloads = par::map(&specs, threads, |_, spec| Workload::build(spec, exp.seed));
+        let traces = specs.iter().map(|_| OnceLock::new()).collect();
+        Lab {
+            exp,
+            specs,
+            workloads,
+            traces,
+        }
+    }
+
+    /// The paper's six Table-I workloads.
+    pub fn all_six(exp: ExpConfig) -> Lab {
+        Lab::build(WorkloadSpec::all_six(), exp)
+    }
+
+    /// The experiment parameters the lab was built with.
+    pub fn exp(&self) -> &ExpConfig {
+        &self.exp
+    }
+
+    /// Number of workloads.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the lab holds no workloads.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Spec of workload `i`.
+    pub fn spec(&self, i: usize) -> &WorkloadSpec {
+        &self.specs[i]
+    }
+
+    /// Built workload `i`.
+    pub fn workload(&self, i: usize) -> &Workload {
+        &self.workloads[i]
+    }
+
+    /// Per-core L1-I miss traces of workload `i` ([`ANALYSIS_CORES`]
+    /// cores, `exp.instructions` per core, paper Section 4.1 miss
+    /// definition), computed on first use and cached for every later
+    /// analysis.
+    pub fn miss_traces(&self, i: usize) -> &[Vec<BlockAddr>] {
+        self.traces[i].get_or_init(|| {
+            crate::harness::collect_miss_traces(
+                &self.workloads[i],
+                self.exp.instructions,
+                ANALYSIS_CORES,
+            )
+        })
+    }
+
+    /// Miss traces of workload `i` as `u64` symbols for SEQUITUR.
+    pub fn symbol_traces(&self, i: usize) -> Vec<Vec<u64>> {
+        self.miss_traces(i)
+            .iter()
+            .map(|t| t.iter().map(|b| b.0).collect())
+            .collect()
+    }
+
+    /// Applies a per-workload analysis in parallel, preserving workload
+    /// order. The closure gets a [`WorkloadCtx`] exposing the built
+    /// workload and the cached miss traces.
+    pub fn analyze<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(WorkloadCtx<'_>) -> R + Sync,
+    {
+        par::map(&self.specs, par::parallelism(), |i, _| {
+            f(WorkloadCtx {
+                lab: self,
+                index: i,
+            })
+        })
+    }
+}
+
+/// One workload's view of a [`Lab`] during [`Lab::analyze`].
+pub struct WorkloadCtx<'a> {
+    lab: &'a Lab,
+    /// Workload index in lab order.
+    pub index: usize,
+}
+
+impl WorkloadCtx<'_> {
+    /// Workload display name.
+    pub fn name(&self) -> String {
+        self.lab.spec(self.index).name.to_string()
+    }
+
+    /// The generating spec.
+    pub fn spec(&self) -> &WorkloadSpec {
+        self.lab.spec(self.index)
+    }
+
+    /// The built workload.
+    pub fn workload(&self) -> &Workload {
+        self.lab.workload(self.index)
+    }
+
+    /// Experiment parameters.
+    pub fn exp(&self) -> &ExpConfig {
+        self.lab.exp()
+    }
+
+    /// Cached per-core miss traces.
+    pub fn miss_traces(&self) -> &[Vec<BlockAddr>] {
+        self.lab.miss_traces(self.index)
+    }
+
+    /// Cached miss traces as SEQUITUR symbols.
+    pub fn symbol_traces(&self) -> Vec<Vec<u64>> {
+        self.lab.symbol_traces(self.index)
+    }
+}
+
+/// A declarative (workload × system) grid: build once, run every cell,
+/// get keyed reports back.
+#[derive(Clone, Debug)]
+pub struct ExperimentGrid {
+    exp: ExpConfig,
+    sys: SystemConfig,
+    workloads: Vec<WorkloadSpec>,
+    systems: Vec<SystemSpec>,
+    threads: Option<usize>,
+}
+
+impl ExperimentGrid {
+    /// A grid on the paper's Table II CMP with no cells yet.
+    pub fn new(exp: ExpConfig) -> ExperimentGrid {
+        ExperimentGrid {
+            exp,
+            sys: SystemConfig::table2(),
+            workloads: Vec::new(),
+            systems: Vec::new(),
+            threads: None,
+        }
+    }
+
+    /// Replaces the CMP configuration (default: Table II).
+    pub fn with_system_config(mut self, sys: SystemConfig) -> Self {
+        self.sys = sys;
+        self
+    }
+
+    /// Adds workloads (rows).
+    pub fn workloads(mut self, specs: impl IntoIterator<Item = WorkloadSpec>) -> Self {
+        self.workloads.extend(specs);
+        self
+    }
+
+    /// Adds systems (columns); accepts [`SystemKind`] and [`SystemSpec`].
+    pub fn systems<S: Into<SystemSpec>>(mut self, systems: impl IntoIterator<Item = S>) -> Self {
+        self.systems.extend(systems.into_iter().map(Into::into));
+        self
+    }
+
+    /// Forces serial execution (cells still run through the same path).
+    pub fn serial(self) -> Self {
+        self.threads(1)
+    }
+
+    /// Sets an explicit worker count (default: machine parallelism, or
+    /// `TIFS_THREADS`).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    fn worker_count(&self) -> usize {
+        self.threads.unwrap_or_else(par::parallelism)
+    }
+
+    /// Builds every workload once, then runs all (workload × system)
+    /// cells in parallel (or serially, per [`serial`](Self::serial) /
+    /// [`threads`](Self::threads)).
+    pub fn run(&self) -> GridResults {
+        let lab = Lab::build_with_threads(self.workloads.clone(), self.exp, self.worker_count());
+        self.run_on(&lab)
+    }
+
+    /// As [`run`](Self::run), on workloads already built in a [`Lab`]
+    /// (`all_figures` shares one lab across every figure). Workloads
+    /// added via [`workloads`](Self::workloads) are ignored in favour of
+    /// the lab's.
+    pub fn run_on(&self, lab: &Lab) -> GridResults {
+        let cells: Vec<(usize, usize)> = (0..lab.len())
+            .flat_map(|w| (0..self.systems.len()).map(move |s| (w, s)))
+            .collect();
+        let reports = par::map(&cells, self.worker_count(), |_, &(w, s)| {
+            run_cell(lab.workload(w), &self.systems[s], &self.exp, &self.sys)
+        });
+        let mut rows: Vec<GridRow> = (0..lab.len())
+            .map(|w| GridRow {
+                workload: lab.spec(w).name.to_string(),
+                reports: Vec::with_capacity(self.systems.len()),
+            })
+            .collect();
+        for ((w, _), report) in cells.into_iter().zip(reports) {
+            rows[w].reports.push(report);
+        }
+        GridResults {
+            systems: self.systems.clone(),
+            rows,
+        }
+    }
+}
+
+/// One workload's reports, in grid system order.
+#[derive(Clone, Debug)]
+pub struct GridRow {
+    /// Workload display name.
+    pub workload: String,
+    /// One report per system, in [`GridResults::systems`] order.
+    pub reports: Vec<SimReport>,
+}
+
+/// All cell reports of a grid run, keyed by (workload row, system).
+#[derive(Clone, Debug)]
+pub struct GridResults {
+    /// The systems measured (column key).
+    pub systems: Vec<SystemSpec>,
+    /// Per-workload rows, in grid workload order.
+    pub rows: Vec<GridRow>,
+}
+
+impl GridResults {
+    /// Number of workload rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the grid had no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Keyed view of one workload's reports.
+    pub fn row(&self, w: usize) -> RowView<'_> {
+        RowView {
+            systems: &self.systems,
+            row: &self.rows[w],
+        }
+    }
+
+    /// Iterates keyed row views in workload order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = RowView<'_>> {
+        (0..self.rows.len()).map(|w| self.row(w))
+    }
+}
+
+/// One workload's reports with system-keyed accessors.
+#[derive(Clone, Copy)]
+pub struct RowView<'a> {
+    systems: &'a [SystemSpec],
+    row: &'a GridRow,
+}
+
+impl<'a> RowView<'a> {
+    /// Workload display name.
+    pub fn workload(&self) -> &'a str {
+        &self.row.workload
+    }
+
+    /// Report of `system`, if it was in the grid.
+    pub fn report(&self, system: impl Into<SystemSpec>) -> Option<&'a SimReport> {
+        let spec = system.into();
+        self.systems
+            .iter()
+            .position(|s| *s == spec)
+            .map(|i| &self.row.reports[i])
+    }
+
+    /// Aggregate IPC of `system`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `system` was not in the grid.
+    pub fn ipc(&self, system: impl Into<SystemSpec>) -> f64 {
+        let spec = system.into();
+        self.report(spec.clone())
+            .unwrap_or_else(|| panic!("system {:?} not in grid", spec.name()))
+            .aggregate_ipc()
+    }
+
+    /// Speedup of `system` over `base` (ratio of aggregate IPC).
+    pub fn speedup_over(&self, system: impl Into<SystemSpec>, base: impl Into<SystemSpec>) -> f64 {
+        let b = self.ipc(base);
+        if b == 0.0 {
+            0.0
+        } else {
+            self.ipc(system) / b
+        }
+    }
+
+    /// (system, report) pairs in grid order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'a SystemSpec, &'a SimReport)> {
+        self.systems.iter().zip(self.row.reports.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_exp() -> ExpConfig {
+        ExpConfig {
+            instructions: 4_000,
+            warmup: 4_000,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_and_preserves_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial = par::map(&items, 1, |i, &x| x * 3 + i as u64);
+        let parallel = par::map(&items, 8, |i, &x| x * 3 + i as u64);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[5], 5 * 3 + 5);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_oversubscription() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par::map(&empty, 8, |_, &x| x).is_empty());
+        let one = [7u32];
+        assert_eq!(par::map(&one, 64, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn grid_builds_workloads_once_and_keys_reports() {
+        let grid = ExperimentGrid::new(tiny_exp())
+            .with_system_config(SystemConfig::single_core())
+            .workloads([WorkloadSpec::tiny_test()])
+            .systems([SystemKind::NextLine, SystemKind::TifsVirtualized]);
+        let results = grid.run();
+        assert_eq!(results.len(), 1);
+        let row = results.row(0);
+        assert!(row.report(SystemKind::NextLine).is_some());
+        assert!(row.report(SystemKind::Fdip).is_none());
+        assert!(row.ipc(SystemKind::NextLine) > 0.0);
+        assert!(row.speedup_over(SystemKind::TifsVirtualized, SystemKind::NextLine) > 0.0);
+    }
+
+    #[test]
+    fn grid_supports_custom_tifs_cells() {
+        let custom = SystemSpec::tifs(
+            "no EOS",
+            TifsConfig {
+                end_of_stream: false,
+                ..TifsConfig::virtualized()
+            },
+        );
+        let results = ExperimentGrid::new(tiny_exp())
+            .with_system_config(SystemConfig::single_core())
+            .workloads([WorkloadSpec::tiny_test()])
+            .systems([custom.clone()])
+            .run();
+        assert_eq!(results.systems[0].name(), "no EOS");
+        assert!(results.row(0).report(custom).is_some());
+    }
+
+    #[test]
+    fn lab_caches_miss_traces() {
+        let lab = Lab::build(vec![WorkloadSpec::tiny_test()], tiny_exp());
+        let a = lab.miss_traces(0).as_ptr();
+        let b = lab.miss_traces(0).as_ptr();
+        assert_eq!(a, b, "second call must hit the cache");
+        assert_eq!(lab.miss_traces(0).len(), ANALYSIS_CORES);
+    }
+
+    #[test]
+    fn analyze_preserves_workload_order() {
+        let lab = Lab::build(
+            vec![WorkloadSpec::tiny_test(), WorkloadSpec::tiny_test()],
+            tiny_exp(),
+        );
+        let names = lab.analyze(|ctx| format!("{}#{}", ctx.name(), ctx.index));
+        assert_eq!(names.len(), 2);
+        assert!(names[0].ends_with("#0"));
+        assert!(names[1].ends_with("#1"));
+    }
+
+    #[test]
+    fn serial_and_parallel_grids_agree_exactly() {
+        let grid = ExperimentGrid::new(tiny_exp())
+            .with_system_config(SystemConfig::single_core())
+            .workloads([WorkloadSpec::tiny_test()])
+            .systems([SystemKind::NextLine, SystemKind::TifsVirtualized]);
+        let serial = grid.clone().serial().run();
+        let parallel = grid.threads(8).run();
+        assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+    }
+}

@@ -6,9 +6,8 @@
 //! next-line baseline is plotted against coverage, with a linear
 //! regression per workload as in the paper.
 
-use tifs_trace::workload::{Workload, WorkloadSpec};
-
-use crate::harness::{run_system, ExpConfig, SystemKind};
+use crate::engine::{ExperimentGrid, Lab};
+use crate::harness::{ExpConfig, SystemKind};
 use crate::report::{linear_regression, render_table};
 
 /// One workload's sweep.
@@ -39,22 +38,28 @@ pub const COVERAGES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
 
 /// Runs the Figure 1 sweep for every Table I workload.
 pub fn run(cfg: &ExpConfig) -> Vec<OpportunityCurve> {
-    WorkloadSpec::all_six()
-        .into_iter()
-        .map(|spec| {
-            let workload = Workload::build(&spec, cfg.seed);
-            let base = run_system(&workload, SystemKind::NextLine, cfg);
-            let base_ipc = base.aggregate_ipc();
+    run_on(&Lab::all_six(*cfg))
+}
+
+/// As [`run`], on an existing lab (workloads built once, shared).
+pub fn run_on(lab: &Lab) -> Vec<OpportunityCurve> {
+    let systems: Vec<SystemKind> = std::iter::once(SystemKind::NextLine)
+        .chain(COVERAGES[1..].iter().map(|&p| SystemKind::Probabilistic(p)))
+        .collect();
+    let grid = ExperimentGrid::new(*lab.exp()).systems(systems);
+    grid.run_on(lab)
+        .iter_rows()
+        .map(|row| {
             let mut points = vec![(0.0, 1.0)];
-            for &p in &COVERAGES[1..] {
-                let r = run_system(&workload, SystemKind::Probabilistic(p), cfg);
-                points.push((p, r.aggregate_ipc() / base_ipc));
-            }
+            points.extend(COVERAGES[1..].iter().map(|&p| {
+                let s = row.speedup_over(SystemKind::Probabilistic(p), SystemKind::NextLine);
+                (p, s)
+            }));
             let xs: Vec<f64> = points.iter().map(|&(x, _)| x).collect();
             let ys: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
             let (slope, intercept, r2) = linear_regression(&xs, &ys);
             OpportunityCurve {
-                workload: spec.name.to_string(),
+                workload: row.workload().to_string(),
                 points,
                 slope,
                 intercept,
@@ -67,7 +72,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<OpportunityCurve> {
 /// Renders the sweep as the paper's figure data.
 pub fn render(curves: &[OpportunityCurve]) -> String {
     let mut headers = vec!["workload"];
-    let labels: Vec<String> = COVERAGES.iter().map(|c| format!("{:.0}%", c * 100.0)).collect();
+    let labels: Vec<String> = COVERAGES
+        .iter()
+        .map(|c| format!("{:.0}%", c * 100.0))
+        .collect();
     headers.extend(labels.iter().map(String::as_str));
     headers.extend(["slope", "at-100%"]);
     let rows: Vec<Vec<String>> = curves

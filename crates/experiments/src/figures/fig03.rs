@@ -2,9 +2,9 @@
 //! Opportunity / Head / New / Non-repetitive via SEQUITUR.
 
 use tifs_sequitur::categorize::{categorize, CategoryCounts};
-use tifs_trace::workload::{Workload, WorkloadSpec};
 
-use crate::harness::{collect_miss_traces, to_symbol_traces, ExpConfig};
+use crate::engine::Lab;
+use crate::harness::ExpConfig;
 use crate::report::{pct, render_table};
 
 /// Per-workload categorization outcome (summed across cores).
@@ -18,25 +18,26 @@ pub struct Categorization {
 
 /// Runs the Figure 3 analysis over all workloads (4 cores each).
 pub fn run(cfg: &ExpConfig) -> Vec<Categorization> {
-    WorkloadSpec::all_six()
-        .into_iter()
-        .map(|spec| {
-            let workload = Workload::build(&spec, cfg.seed);
-            let traces = collect_miss_traces(&workload, cfg.instructions, 4);
-            let mut counts = CategoryCounts::default();
-            for t in to_symbol_traces(&traces) {
-                let c = CategoryCounts::from_classes(&categorize(&t));
-                counts.non_repetitive += c.non_repetitive;
-                counts.new += c.new;
-                counts.head += c.head;
-                counts.opportunity += c.opportunity;
-            }
-            Categorization {
-                workload: spec.name.to_string(),
-                counts,
-            }
-        })
-        .collect()
+    run_on(&Lab::all_six(*cfg))
+}
+
+/// As [`run`], on an existing lab (cached miss traces shared with the
+/// other trace analyses).
+pub fn run_on(lab: &Lab) -> Vec<Categorization> {
+    lab.analyze(|ctx| {
+        let mut counts = CategoryCounts::default();
+        for t in ctx.symbol_traces() {
+            let c = CategoryCounts::from_classes(&categorize(&t));
+            counts.non_repetitive += c.non_repetitive;
+            counts.new += c.new;
+            counts.head += c.head;
+            counts.opportunity += c.opportunity;
+        }
+        Categorization {
+            workload: ctx.name(),
+            counts,
+        }
+    })
 }
 
 /// Renders the per-workload category fractions.

@@ -4,9 +4,9 @@
 use tifs_sequitur::streams::stream_occurrences;
 use tifs_sequitur::LengthCdf;
 use tifs_trace::filter::collapse_sequential;
-use tifs_trace::workload::{Workload, WorkloadSpec};
 
-use crate::harness::{collect_miss_traces, ExpConfig};
+use crate::engine::Lab;
+use crate::harness::ExpConfig;
 use crate::report::render_table;
 
 /// Per-workload stream-length distribution (cores merged).
@@ -20,23 +20,23 @@ pub struct StreamLengths {
 
 /// Runs the Figure 5 analysis.
 pub fn run(cfg: &ExpConfig) -> Vec<StreamLengths> {
-    WorkloadSpec::all_six()
-        .into_iter()
-        .map(|spec| {
-            let workload = Workload::build(&spec, cfg.seed);
-            let traces = collect_miss_traces(&workload, cfg.instructions, 4);
-            let mut occurrences = Vec::new();
-            for t in &traces {
-                let collapsed: Vec<u64> =
-                    collapse_sequential(t).iter().map(|b| b.0).collect();
-                occurrences.extend(stream_occurrences(&collapsed));
-            }
-            StreamLengths {
-                workload: spec.name.to_string(),
-                cdf: LengthCdf::from_occurrences(&occurrences),
-            }
-        })
-        .collect()
+    run_on(&Lab::all_six(*cfg))
+}
+
+/// As [`run`], on an existing lab (cached miss traces shared with the
+/// other trace analyses).
+pub fn run_on(lab: &Lab) -> Vec<StreamLengths> {
+    lab.analyze(|ctx| {
+        let mut occurrences = Vec::new();
+        for t in ctx.miss_traces() {
+            let collapsed: Vec<u64> = collapse_sequential(t).iter().map(|b| b.0).collect();
+            occurrences.extend(stream_occurrences(&collapsed));
+        }
+        StreamLengths {
+            workload: ctx.name(),
+            cdf: LengthCdf::from_occurrences(&occurrences),
+        }
+    })
 }
 
 /// Renders quantiles of each CDF (the paper reads the median off the

@@ -2,9 +2,9 @@
 //! First / Digram / Recent / Longest, against the Opportunity bound.
 
 use tifs_sequitur::heuristics::{evaluate_heuristic, Heuristic, HeuristicConfig};
-use tifs_trace::workload::{Workload, WorkloadSpec};
 
-use crate::harness::{collect_miss_traces, to_symbol_traces, ExpConfig};
+use crate::engine::Lab;
+use crate::harness::ExpConfig;
 use crate::report::{pct, render_table};
 
 /// Per-workload heuristic coverages (misses summed across cores).
@@ -18,34 +18,36 @@ pub struct HeuristicRow {
 
 /// Runs the Figure 6 analysis.
 pub fn run(cfg: &ExpConfig) -> Vec<HeuristicRow> {
-    WorkloadSpec::all_six()
-        .into_iter()
-        .map(|spec| {
-            let workload = Workload::build(&spec, cfg.seed);
-            let traces = to_symbol_traces(&collect_miss_traces(&workload, cfg.instructions, 4));
-            let coverage = Heuristic::ALL
-                .iter()
-                .map(|&h| {
-                    let mut eliminated = 0usize;
-                    let mut total = 0usize;
-                    for t in &traces {
-                        let out = evaluate_heuristic(t, &HeuristicConfig::new(h));
-                        eliminated += out.eliminated;
-                        total += out.total_misses;
-                    }
-                    if total == 0 {
-                        0.0
-                    } else {
-                        eliminated as f64 / total as f64
-                    }
-                })
-                .collect();
-            HeuristicRow {
-                workload: spec.name.to_string(),
-                coverage,
-            }
-        })
-        .collect()
+    run_on(&Lab::all_six(*cfg))
+}
+
+/// As [`run`], on an existing lab (cached miss traces shared with the
+/// other trace analyses).
+pub fn run_on(lab: &Lab) -> Vec<HeuristicRow> {
+    lab.analyze(|ctx| {
+        let traces = ctx.symbol_traces();
+        let coverage = Heuristic::ALL
+            .iter()
+            .map(|&h| {
+                let mut eliminated = 0usize;
+                let mut total = 0usize;
+                for t in &traces {
+                    let out = evaluate_heuristic(t, &HeuristicConfig::new(h));
+                    eliminated += out.eliminated;
+                    total += out.total_misses;
+                }
+                if total == 0 {
+                    0.0
+                } else {
+                    eliminated as f64 / total as f64
+                }
+            })
+            .collect();
+        HeuristicRow {
+            workload: ctx.name(),
+            coverage,
+        }
+    })
 }
 
 /// Renders the heuristic comparison.

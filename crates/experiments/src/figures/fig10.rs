@@ -9,9 +9,9 @@
 
 use tifs_sim::config::SystemConfig;
 use tifs_sim::miss_trace::FunctionalFetchModel;
-use tifs_trace::workload::{Workload, WorkloadSpec};
 use tifs_trace::BranchKind;
 
+use crate::engine::Lab;
 use crate::harness::ExpConfig;
 use crate::report::{pct, render_table};
 
@@ -50,37 +50,42 @@ pub const LOOKAHEAD_MISSES: usize = 4;
 
 /// Runs the Figure 10 analysis (core 0's stream per workload).
 pub fn run(cfg: &ExpConfig) -> Vec<LookaheadDist> {
+    run_on(&Lab::all_six(*cfg))
+}
+
+/// As [`run`], on an existing lab (workloads built once, shared).
+pub fn run_on(lab: &Lab) -> Vec<LookaheadDist> {
     let sys = SystemConfig::table2();
-    WorkloadSpec::all_six()
-        .into_iter()
-        .map(|spec| {
-            let workload = Workload::build(&spec, cfg.seed);
-            let mut model = FunctionalFetchModel::new(&sys);
-            // Cumulative non-inner-loop conditional-branch count at each
-            // miss position.
-            let mut branch_cum: u64 = 0;
-            let mut miss_marks: Vec<u64> = Vec::new();
-            for rec in workload.walker(0).take(cfg.instructions as usize) {
-                if model.access_pc(rec.pc).is_some() {
-                    miss_marks.push(branch_cum);
-                }
-                if let Some(b) = rec.branch {
-                    if b.kind == BranchKind::Conditional && !b.inner_loop {
-                        branch_cum += 1;
-                    }
+    lab.analyze(|ctx| {
+        let mut model = FunctionalFetchModel::new(&sys);
+        // Cumulative non-inner-loop conditional-branch count at each
+        // miss position.
+        let mut branch_cum: u64 = 0;
+        let mut miss_marks: Vec<u64> = Vec::new();
+        for rec in ctx
+            .workload()
+            .walker(0)
+            .take(ctx.exp().instructions as usize)
+        {
+            if model.access_pc(rec.pc).is_some() {
+                miss_marks.push(branch_cum);
+            }
+            if let Some(b) = rec.branch {
+                if b.kind == BranchKind::Conditional && !b.inner_loop {
+                    branch_cum += 1;
                 }
             }
-            let mut counts: Vec<u32> = miss_marks
-                .windows(LOOKAHEAD_MISSES + 1)
-                .map(|w| (w[LOOKAHEAD_MISSES] - w[0]) as u32)
-                .collect();
-            counts.sort_unstable();
-            LookaheadDist {
-                workload: spec.name.to_string(),
-                counts,
-            }
-        })
-        .collect()
+        }
+        let mut counts: Vec<u32> = miss_marks
+            .windows(LOOKAHEAD_MISSES + 1)
+            .map(|w| (w[LOOKAHEAD_MISSES] - w[0]) as u32)
+            .collect();
+        counts.sort_unstable();
+        LookaheadDist {
+            workload: ctx.name(),
+            counts,
+        }
+    })
 }
 
 /// Renders quantiles and the paper's ">16 branches" headline fraction.
@@ -102,7 +107,15 @@ pub fn render(results: &[LookaheadDist]) -> String {
     format!(
         "Figure 10 — non-inner-loop branch predictions needed for a 4-miss lookahead\n{}",
         render_table(
-            &["workload", "misses", "p25", "median", "p75", "p90", ">16 branches"],
+            &[
+                "workload",
+                "misses",
+                "p25",
+                "median",
+                "p75",
+                "p90",
+                ">16 branches"
+            ],
             &rows
         )
     )

@@ -2,9 +2,9 @@
 //! capacity (perfect dedicated Index Table, functional model).
 
 use tifs_core::{entries_per_core_for_kb, FunctionalConfig, FunctionalTifs};
-use tifs_trace::workload::{Workload, WorkloadSpec};
 
-use crate::harness::{collect_miss_traces, ExpConfig};
+use crate::engine::{Lab, ANALYSIS_CORES};
+use crate::harness::ExpConfig;
 use crate::report::{pct, render_table};
 
 /// Swept total IML storage budgets in kilobytes (log-ish scale, as the
@@ -22,33 +22,35 @@ pub struct CapacityCurve {
 
 /// Runs the Figure 11 sweep (4 cores, shared index).
 pub fn run(cfg: &ExpConfig) -> Vec<CapacityCurve> {
-    WorkloadSpec::all_six()
-        .into_iter()
-        .map(|spec| {
-            let workload = Workload::build(&spec, cfg.seed);
-            let traces = collect_miss_traces(&workload, cfg.instructions, 4);
-            let points = STORAGE_KB
-                .iter()
-                .map(|&kb| {
-                    let entries = entries_per_core_for_kb(kb, 4)
-                        .max(tifs_core::ENTRIES_PER_L2_BLOCK);
-                    let mut f = FunctionalTifs::new(
-                        4,
-                        FunctionalConfig {
-                            iml_entries_per_core: Some(entries),
-                            ..FunctionalConfig::default()
-                        },
-                    );
-                    f.process_interleaved(&traces);
-                    (kb, f.report().coverage())
-                })
-                .collect();
-            CapacityCurve {
-                workload: spec.name.to_string(),
-                points,
-            }
-        })
-        .collect()
+    run_on(&Lab::all_six(*cfg))
+}
+
+/// As [`run`], on an existing lab (cached miss traces shared with the
+/// other trace analyses).
+pub fn run_on(lab: &Lab) -> Vec<CapacityCurve> {
+    lab.analyze(|ctx| {
+        let traces = ctx.miss_traces();
+        let points = STORAGE_KB
+            .iter()
+            .map(|&kb| {
+                let entries = entries_per_core_for_kb(kb, ANALYSIS_CORES)
+                    .max(tifs_core::ENTRIES_PER_L2_BLOCK);
+                let mut f = FunctionalTifs::new(
+                    ANALYSIS_CORES,
+                    FunctionalConfig {
+                        iml_entries_per_core: Some(entries),
+                        ..FunctionalConfig::default()
+                    },
+                );
+                f.process_interleaved(traces);
+                (kb, f.report().coverage())
+            })
+            .collect();
+        CapacityCurve {
+            workload: ctx.name(),
+            points,
+        }
+    })
 }
 
 /// Renders coverage per storage budget.

@@ -6,9 +6,8 @@
 //! (IML reads, IML writes, discarded prefetches) as a fraction of the base
 //! system's L2 traffic (reads, fetches, writebacks).
 
-use tifs_trace::workload::{Workload, WorkloadSpec};
-
-use crate::harness::{run_system, ExpConfig, SystemKind};
+use crate::engine::{ExperimentGrid, Lab};
+use crate::harness::{ExpConfig, SystemKind};
 use crate::report::{pct, render_table};
 
 /// One workload's Figure 12 measurements.
@@ -39,12 +38,20 @@ impl TrafficRow {
 
 /// Runs the Figure 12 measurement for all workloads.
 pub fn run(cfg: &ExpConfig) -> Vec<TrafficRow> {
-    WorkloadSpec::all_six()
-        .into_iter()
-        .map(|spec| {
-            let workload = Workload::build(&spec, cfg.seed);
-            let base = run_system(&workload, SystemKind::NextLine, cfg);
-            let tifs = run_system(&workload, SystemKind::TifsVirtualized, cfg);
+    run_on(&Lab::all_six(*cfg))
+}
+
+/// As [`run`], on an existing lab (workloads built once, shared).
+pub fn run_on(lab: &Lab) -> Vec<TrafficRow> {
+    let grid = ExperimentGrid::new(*lab.exp())
+        .systems([SystemKind::NextLine, SystemKind::TifsVirtualized]);
+    grid.run_on(lab)
+        .iter_rows()
+        .map(|row| {
+            let base = row.report(SystemKind::NextLine).expect("base in grid");
+            let tifs = row
+                .report(SystemKind::TifsVirtualized)
+                .expect("tifs in grid");
 
             let covered: u64 = tifs.cores.iter().map(|c| c.prefetch_hits).sum();
             let demand: u64 = tifs.cores.iter().map(|c| c.demand_misses).sum();
@@ -53,7 +60,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<TrafficRow> {
 
             let base_traffic = base.l2.base_traffic().max(1) as f64;
             TrafficRow {
-                workload: spec.name.to_string(),
+                workload: row.workload().to_string(),
                 coverage: covered as f64 / baseline_misses as f64,
                 miss: demand as f64 / baseline_misses as f64,
                 discard: discards / baseline_misses as f64,
@@ -90,8 +97,8 @@ pub fn render(results: &[TrafficRow]) -> String {
             ]
         })
         .collect();
-    let avg = results.iter().map(TrafficRow::total_overhead).sum::<f64>()
-        / results.len().max(1) as f64;
+    let avg =
+        results.iter().map(TrafficRow::total_overhead).sum::<f64>() / results.len().max(1) as f64;
     format!(
         "Figure 12 (left) — coverage / miss / discards, % of baseline L1-I misses\n{}\n\
          Figure 12 (right) — L2 traffic increase, % of base L2 traffic (paper: 13% average)\n{}\naverage total overhead: {}\n",

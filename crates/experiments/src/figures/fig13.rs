@@ -3,9 +3,8 @@
 //! and a perfect prefetcher, plus the discontinuity prefetcher as an
 //! extension baseline.
 
-use tifs_trace::workload::{Workload, WorkloadSpec};
-
-use crate::harness::{run_system, ExpConfig, SystemKind};
+use crate::engine::{ExperimentGrid, Lab};
+use crate::harness::{ExpConfig, SystemKind};
 use crate::report::render_table;
 
 /// One workload's bar group.
@@ -29,21 +28,22 @@ impl SpeedupRow {
 
 /// Runs the Figure 13 comparison for all workloads.
 pub fn run(cfg: &ExpConfig) -> Vec<SpeedupRow> {
-    WorkloadSpec::all_six()
-        .into_iter()
-        .map(|spec| {
-            let workload = Workload::build(&spec, cfg.seed);
-            let base = run_system(&workload, SystemKind::NextLine, cfg);
-            let base_ipc = base.aggregate_ipc();
+    run_on(&Lab::all_six(*cfg))
+}
+
+/// As [`run`], on an existing lab (workloads built once, shared).
+pub fn run_on(lab: &Lab) -> Vec<SpeedupRow> {
+    let grid = ExperimentGrid::new(*lab.exp())
+        .systems(std::iter::once(SystemKind::NextLine).chain(SystemKind::figure13()));
+    grid.run_on(lab)
+        .iter_rows()
+        .map(|row| {
             let speedups = SystemKind::figure13()
                 .into_iter()
-                .map(|kind| {
-                    let r = run_system(&workload, kind, cfg);
-                    (kind, r.aggregate_ipc() / base_ipc)
-                })
+                .map(|kind| (kind, row.speedup_over(kind, SystemKind::NextLine)))
                 .collect();
             SpeedupRow {
-                workload: spec.name.to_string(),
+                workload: row.workload().to_string(),
                 speedups,
             }
         })

@@ -1,18 +1,29 @@
 //! Tables I and II — workload and system parameters.
 
 use tifs_sim::config::SystemConfig;
-use tifs_trace::workload::{Workload, WorkloadSpec};
 
+use crate::engine::Lab;
+use crate::harness::ExpConfig;
 use crate::report::render_table;
 
 /// Renders Table I: the synthetic workload suite, with the generated
 /// instruction footprints (the paper's table lists the commercial setups
 /// these mirror).
 pub fn render_table1(seed: u64) -> String {
-    let rows: Vec<Vec<String>> = WorkloadSpec::all_six()
-        .into_iter()
-        .map(|spec| {
-            let w = Workload::build(&spec, seed);
+    let exp = ExpConfig {
+        seed,
+        ..ExpConfig::default()
+    };
+    render_table1_on(&Lab::all_six(exp))
+}
+
+/// As [`render_table1`], on an existing lab (workloads built once,
+/// shared).
+pub fn render_table1_on(lab: &Lab) -> String {
+    let rows: Vec<Vec<String>> = (0..lab.len())
+        .map(|i| {
+            let spec = lab.spec(i);
+            let w = lab.workload(i);
             vec![
                 spec.name.to_string(),
                 format!("{:?}", spec.class),
@@ -25,7 +36,8 @@ pub fn render_table1(seed: u64) -> String {
         })
         .collect();
     format!(
-        "Table I — synthetic commercial workload suite (seed {seed})\n{}",
+        "Table I — synthetic commercial workload suite (seed {})\n{}",
+        lab.exp().seed,
         render_table(
             &[
                 "workload",

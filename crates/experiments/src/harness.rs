@@ -1,17 +1,14 @@
-//! Shared experiment harness: system construction, timing runs, and
-//! functional trace collection.
+//! Experiment parameters, the system taxonomy, and thin compatibility
+//! wrappers over the [`engine`](crate::engine) — which owns system
+//! construction, stream building, and parallel execution.
 
-use tifs_core::{TifsConfig, TifsPrefetcher};
-use tifs_prefetch::{
-    DiscontinuityConfig, DiscontinuityPrefetcher, Fdip, FdipConfig, ProbabilisticPrefetcher,
-};
-use tifs_sim::cmp::Cmp;
 use tifs_sim::config::SystemConfig;
 use tifs_sim::miss_trace::miss_trace_with_model;
-use tifs_sim::prefetch::{IPrefetcher, NullPrefetcher};
 use tifs_sim::stats::SimReport;
 use tifs_trace::workload::Workload;
-use tifs_trace::{BlockAddr, FetchRecord};
+use tifs_trace::BlockAddr;
+
+use crate::engine;
 
 /// Common experiment parameters (overridable from the command line).
 #[derive(Clone, Copy, Debug)]
@@ -119,62 +116,28 @@ impl SystemKind {
     }
 }
 
-/// Builds the prefetcher for a system over a given workload.
-fn build_prefetcher<'a>(
-    kind: SystemKind,
-    workload: &'a Workload,
-    sys: &SystemConfig,
-    seed: u64,
-) -> Box<dyn IPrefetcher + 'a> {
-    match kind {
-        SystemKind::NextLine => Box::new(NullPrefetcher),
-        SystemKind::Fdip => Box::new(Fdip::new(
-            &workload.program,
-            sys.num_cores,
-            FdipConfig::default(),
-        )),
-        SystemKind::Discontinuity => Box::new(DiscontinuityPrefetcher::new(
-            sys.num_cores,
-            DiscontinuityConfig::default(),
-        )),
-        SystemKind::TifsUnbounded => {
-            Box::new(TifsPrefetcher::new(sys.num_cores, TifsConfig::unbounded()))
-        }
-        SystemKind::TifsDedicated => {
-            Box::new(TifsPrefetcher::new(sys.num_cores, TifsConfig::dedicated()))
-        }
-        SystemKind::TifsVirtualized => Box::new(TifsPrefetcher::new(
-            sys.num_cores,
-            TifsConfig::virtualized(),
-        )),
-        SystemKind::Probabilistic(p) => Box::new(ProbabilisticPrefetcher::new(p, seed ^ 0x9D)),
-        SystemKind::Perfect => Box::new(ProbabilisticPrefetcher::perfect(seed ^ 0x9D)),
-    }
-}
-
 /// Runs one system on one workload with the paper's Table II CMP,
 /// returning the measured-phase report.
 pub fn run_system(workload: &Workload, kind: SystemKind, cfg: &ExpConfig) -> SimReport {
     run_system_with(workload, kind, cfg, &SystemConfig::table2())
 }
 
-/// As [`run_system`], with an explicit system configuration.
+/// As [`run_system`], with an explicit system configuration. Delegates to
+/// [`engine::run_cell`], the experiments crate's single cell runner.
 pub fn run_system_with(
     workload: &Workload,
     kind: SystemKind,
     cfg: &ExpConfig,
     sys: &SystemConfig,
 ) -> SimReport {
-    let streams: Vec<_> = (0..sys.num_cores)
-        .map(|c| Box::new(workload.walker(c)) as Box<dyn Iterator<Item = FetchRecord>>)
-        .collect();
-    let pf = build_prefetcher(kind, workload, sys, cfg.seed);
-    let mut cmp = Cmp::new(sys.clone(), streams, pf);
-    cmp.run_with_warmup(cfg.warmup, cfg.instructions)
+    engine::run_cell(workload, &engine::SystemSpec::Kind(kind), cfg, sys)
 }
 
 /// Collects per-core L1-I miss traces (functional model, paper Section
 /// 4.1 miss definition) of `instructions` per core.
+///
+/// Figure pipelines should prefer [`engine::Lab::miss_traces`], which
+/// caches these per workload; this entry point remains for one-off use.
 pub fn collect_miss_traces(
     workload: &Workload,
     instructions: u64,
@@ -202,6 +165,7 @@ pub fn to_symbol_traces(traces: &[Vec<BlockAddr>]) -> Vec<Vec<u64>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{build_prefetcher, SystemSpec};
     use tifs_trace::workload::WorkloadSpec;
 
     #[test]
@@ -232,7 +196,7 @@ mod tests {
             SystemKind::Probabilistic(0.5),
             SystemKind::Perfect,
         ] {
-            let pf = build_prefetcher(kind, &w, &sys, 1);
+            let pf = build_prefetcher(&SystemSpec::Kind(kind), &w, &sys, 1);
             assert!(!pf.name().is_empty());
         }
     }

@@ -4,8 +4,13 @@
 //! Each figure has a module under [`figures`] exposing `run` (structured
 //! results) and `render` (the paper-style table), and a binary
 //! (`fig01`…`fig13`, `table1`, `table2`, `all_figures`) that prints it.
-//! Common machinery lives in [`harness`] (system construction, timing
-//! runs, trace collection) and [`report`] (tables, regression).
+//! All of them execute through the [`engine`]: a declarative
+//! [`engine::ExperimentGrid`] of (workload × system) cells that builds
+//! each workload once, fans cells out across threads, and returns keyed
+//! reports, plus an [`engine::Lab`] of shared workloads and cached miss
+//! traces for the SEQUITUR analyses. [`harness`] keeps the experiment
+//! parameters, the [`harness::SystemKind`] taxonomy, and compatibility
+//! wrappers; [`report`] renders tables and fits.
 //!
 //! ```no_run
 //! use tifs_experiments::harness::{run_system, ExpConfig, SystemKind};
@@ -18,8 +23,10 @@
 //! println!("speedup {:.3}", tifs.aggregate_ipc() / base.aggregate_ipc());
 //! ```
 
+pub mod engine;
 pub mod figures;
 pub mod harness;
 pub mod report;
 
+pub use engine::{ExperimentGrid, GridResults, Lab, SystemSpec};
 pub use harness::{collect_miss_traces, run_system, to_symbol_traces, ExpConfig, SystemKind};

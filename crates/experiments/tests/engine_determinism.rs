@@ -1,0 +1,89 @@
+//! The engine's central guarantee: a grid yields bit-identical reports
+//! run-to-run and regardless of how its cells are scheduled (serial,
+//! parallel, oversubscribed). Every later sharding/batching/caching layer
+//! builds on this.
+
+use tifs_experiments::engine::{ExperimentGrid, Lab, SystemSpec};
+use tifs_experiments::harness::{ExpConfig, SystemKind};
+use tifs_sim::config::SystemConfig;
+use tifs_trace::workload::WorkloadSpec;
+
+fn exp() -> ExpConfig {
+    ExpConfig {
+        instructions: 20_000,
+        warmup: 20_000,
+        seed: 42,
+    }
+}
+
+fn grid() -> ExperimentGrid {
+    ExperimentGrid::new(exp())
+        .with_system_config(SystemConfig::single_core())
+        .workloads([WorkloadSpec::tiny_test(), WorkloadSpec::web_zeus()])
+        .systems([
+            SystemSpec::Kind(SystemKind::NextLine),
+            SystemSpec::Kind(SystemKind::Fdip),
+            SystemSpec::Kind(SystemKind::TifsVirtualized),
+        ])
+}
+
+/// Full-fidelity fingerprint of every cell report: all core counters, L2
+/// counters, and prefetcher counters, via the Debug rendering.
+fn fingerprint(results: &tifs_experiments::GridResults) -> String {
+    format!("{results:?}")
+}
+
+#[test]
+fn same_grid_twice_is_identical() {
+    let a = fingerprint(&grid().run());
+    let b = fingerprint(&grid().run());
+    assert_eq!(a, b, "two runs of one grid must agree exactly");
+}
+
+#[test]
+fn serial_and_parallel_schedules_agree() {
+    let serial = fingerprint(&grid().serial().run());
+    for threads in [2, 8, 32] {
+        let parallel = fingerprint(&grid().threads(threads).run());
+        assert_eq!(
+            serial, parallel,
+            "parallel run with {threads} workers diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn shared_lab_and_fresh_builds_agree() {
+    // Workloads built once and shared across cells must equal per-run
+    // builds: the lab is a cache, never a semantic change.
+    let lab = Lab::build(
+        vec![WorkloadSpec::tiny_test(), WorkloadSpec::web_zeus()],
+        exp(),
+    );
+    let shared = fingerprint(&grid().run_on(&lab));
+    let fresh = fingerprint(&grid().run());
+    assert_eq!(shared, fresh);
+}
+
+#[test]
+fn analysis_traces_deterministic_and_schedule_independent() {
+    let lab = || {
+        Lab::build(
+            vec![WorkloadSpec::tiny_test(), WorkloadSpec::web_zeus()],
+            exp(),
+        )
+    };
+    let a = lab();
+    let b = lab();
+    assert_eq!(a.miss_traces(0), b.miss_traces(0));
+    assert_eq!(a.miss_traces(1), b.miss_traces(1));
+    // analyze() results must arrive in workload order whatever the
+    // scheduling, and repeat runs must agree.
+    let names_a = a.analyze(|ctx| ctx.name());
+    let names_b = b.analyze(|ctx| ctx.name());
+    assert_eq!(names_a, names_b);
+    assert_eq!(
+        names_a,
+        vec!["tiny-test".to_string(), "Web Zeus".to_string()]
+    );
+}

@@ -146,13 +146,16 @@ impl IPrefetcher for DiscontinuityPrefetcher {
 
     fn tick(&mut self, ctx: &mut PrefetchCtx<'_>) {
         for core in &mut self.cores {
-            let done: Vec<BlockAddr> = core
+            // Arrival order (ties by address): the buffer is LRU-ordered,
+            // so a HashMap-ordered drain would be nondeterministic.
+            let mut done: Vec<(u64, BlockAddr)> = core
                 .inflight
                 .iter()
                 .filter(|&(_, &r)| r <= ctx.now)
-                .map(|(&b, _)| b)
+                .map(|(&b, &r)| (r, b))
                 .collect();
-            for b in done {
+            done.sort_unstable_by_key(|&(r, b)| (r, b.0));
+            for (_, b) in done {
                 let r = core.inflight.remove(&b).expect("present");
                 core.buffer.insert(b, r);
             }

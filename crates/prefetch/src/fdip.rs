@@ -297,13 +297,17 @@ impl IPrefetcher for Fdip<'_> {
             // Drain completed prefetches into the buffer.
             {
                 let core = &mut self.cores[i];
-                let done: Vec<BlockAddr> = core
+                // Arrival order (ties by address): the buffer is
+                // LRU-ordered, so a HashMap-ordered drain would be
+                // nondeterministic.
+                let mut done: Vec<(u64, BlockAddr)> = core
                     .inflight
                     .iter()
                     .filter(|&(_, &r)| r <= ctx.now)
-                    .map(|(&b, _)| b)
+                    .map(|(&b, &r)| (r, b))
                     .collect();
-                for b in done {
+                done.sort_unstable_by_key(|&(r, b)| (r, b.0));
+                for (_, b) in done {
                     let r = core.inflight.remove(&b).expect("present");
                     core.buffer.insert(b, r);
                 }
@@ -358,7 +362,9 @@ impl IPrefetcher for Fdip<'_> {
 
 impl std::fmt::Debug for Fdip<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Fdip").field("cores", &self.cores.len()).finish()
+        f.debug_struct("Fdip")
+            .field("cores", &self.cores.len())
+            .finish()
     }
 }
 
@@ -418,6 +424,9 @@ mod tests {
             100_000,
         );
         let restarts = report.prefetcher_counter("restarts").unwrap_or(0.0);
-        assert!(restarts > 0.0, "data-dependent branches must force restarts");
+        assert!(
+            restarts > 0.0,
+            "data-dependent branches must force restarts"
+        );
     }
 }

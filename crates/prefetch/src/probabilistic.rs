@@ -107,7 +107,10 @@ mod tests {
             core: 0,
             l2: &mut l2,
         };
-        assert_eq!(p.on_block_fetch(&mut ctx, BlockAddr(42), FetchKind::Miss), None);
+        assert_eq!(
+            p.on_block_fetch(&mut ctx, BlockAddr(42), FetchKind::Miss),
+            None
+        );
     }
 
     #[test]
@@ -120,7 +123,10 @@ mod tests {
             core: 0,
             l2: &mut l2,
         };
-        assert_eq!(p.on_block_fetch(&mut ctx, BlockAddr(42), FetchKind::Miss), Some(500));
+        assert_eq!(
+            p.on_block_fetch(&mut ctx, BlockAddr(42), FetchKind::Miss),
+            Some(500)
+        );
     }
 
     #[test]
@@ -136,7 +142,9 @@ mod tests {
                 core: 0,
                 l2: &mut l2,
             };
-            if p.on_block_fetch(&mut ctx, BlockAddr(7), FetchKind::Miss).is_some() {
+            if p.on_block_fetch(&mut ctx, BlockAddr(7), FetchKind::Miss)
+                .is_some()
+            {
                 supplied += 1;
             }
         }
@@ -154,7 +162,10 @@ mod tests {
             core: 0,
             l2: &mut l2,
         };
-        assert_eq!(p.on_block_fetch(&mut ctx, BlockAddr(7), FetchKind::L1Hit), None);
+        assert_eq!(
+            p.on_block_fetch(&mut ctx, BlockAddr(7), FetchKind::L1Hit),
+            None
+        );
     }
 
     #[test]

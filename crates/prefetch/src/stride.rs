@@ -46,7 +46,10 @@ impl StridePrefetcher {
     /// Creates a table of `entries` slots issuing `degree` prefetches per
     /// confirmed stride (Table II: up to 16 distinct strides).
     pub fn new(entries: usize, degree: u64) -> StridePrefetcher {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         StridePrefetcher {
             entries: vec![None; entries],
             degree,
@@ -136,7 +139,9 @@ mod tests {
         let pc = Addr(0x200);
         let mut x = 0xABCDu64;
         for _ in 0..100 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             assert!(sp.observe(pc, Addr(x % 1_000_000)).is_empty());
         }
     }

@@ -561,7 +561,11 @@ impl Sequitur {
         // Every digram-index entry must point at a live node whose digram
         // matches its key.
         for (&(a, b), &n) in &self.digrams {
-            assert!(self.alive(n), "index entry {:?} points at dead node", (a, b));
+            assert!(
+                self.alive(n),
+                "index entry {:?} points at dead node",
+                (a, b)
+            );
             assert_eq!(self.value(n), a, "index key/first mismatch at node {n}");
             assert_eq!(
                 self.value(self.next(n)),
@@ -885,11 +889,9 @@ mod tests {
         let mut input = Vec::new();
         let s1: Vec<u64> = (100..120).collect();
         let s2: Vec<u64> = (200..230).collect();
-        let mut noise = 1000u64;
-        for i in 0..20 {
+        for (i, noise) in (1000u64..1020).enumerate() {
             input.extend_from_slice(if i % 2 == 0 { &s1 } else { &s2 });
             input.push(noise);
-            noise += 1;
         }
         roundtrip(&input);
     }

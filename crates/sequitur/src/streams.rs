@@ -79,9 +79,7 @@ pub fn walk_grammar(grammar: &Grammar) -> GrammarWalk {
                     stack.push((q, 0));
                 } else {
                     walk.class_codes.push(2);
-                    walk
-                        .class_codes
-                        .extend(std::iter::repeat(3).take(len - 1));
+                    walk.class_codes.extend(std::iter::repeat_n(3, len - 1));
                 }
             }
         }

@@ -218,7 +218,7 @@ impl BlockRmq {
                 .expect("non-empty"),
         );
         // Whole blocks in between via sparse table.
-        if b_lo + 1 <= b_hi.wrapping_sub(1) && b_hi >= 1 {
+        if b_lo < b_hi.wrapping_sub(1) && b_hi >= 1 {
             let (first, last) = (b_lo + 1, b_hi - 1);
             if first <= last {
                 let span = last - first + 1;

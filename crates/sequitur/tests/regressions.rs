@@ -6,7 +6,9 @@ use tifs_sequitur::grammar::Sequitur;
 
 #[test]
 fn overlap_entry_eviction_regression() {
-    let trace: Vec<u64> = vec![0, 0, 0, 0, 0, 0, 2, 3, 1, 1, 1, 3, 1, 2, 0, 0, 0, 0, 1, 1, 0];
+    let trace: Vec<u64> = vec![
+        0, 0, 0, 0, 0, 0, 2, 3, 1, 1, 1, 3, 1, 2, 0, 0, 0, 0, 1, 1, 0,
+    ];
     let mut s = Sequitur::new();
     for &x in &trace {
         s.push(x);

@@ -17,7 +17,10 @@ struct CounterTable {
 
 impl CounterTable {
     fn new(entries: usize) -> CounterTable {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         CounterTable {
             counters: vec![2; entries], // weakly taken
             mask: (entries - 1) as u64,

@@ -78,8 +78,7 @@ impl<'a> Cmp<'a> {
             let quota = core.retired() + instructions_per_core;
             core.set_quota(quota);
         }
-        let budget = start_cycle
-            + instructions_per_core.saturating_mul(1000).max(1_000_000);
+        let budget = start_cycle + instructions_per_core.saturating_mul(1000).max(1_000_000);
         while !self.cores.iter().all(Core::finished) {
             self.tick();
             assert!(

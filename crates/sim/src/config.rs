@@ -95,11 +95,17 @@ impl SystemConfig {
         vec![
             (
                 "Cores".into(),
-                format!("{} x 4.0 GHz OoO, {}-wide dispatch/retire", self.num_cores, self.width),
+                format!(
+                    "{} x 4.0 GHz OoO, {}-wide dispatch/retire",
+                    self.num_cores, self.width
+                ),
             ),
             (
                 "ROB / fetch queue".into(),
-                format!("{}-entry ROB, {}-entry pre-dispatch queue", self.rob_entries, self.fetch_queue),
+                format!(
+                    "{}-entry ROB, {}-entry pre-dispatch queue",
+                    self.rob_entries, self.fetch_queue
+                ),
             ),
             (
                 "L1-I".into(),

@@ -260,16 +260,22 @@ impl<'a> Core<'a> {
         if self.nl_inflight.is_empty() {
             return;
         }
-        let ready: Vec<BlockAddr> = self
+        // Drain in completion order (ties by address): HashMap iteration
+        // order is random per process, and the issue order below feeds the
+        // L2 bank scheduler, so an unsorted drain is nondeterministic.
+        let mut ready: Vec<(u64, BlockAddr)> = self
             .nl_inflight
             .iter()
             .filter(|&(_, &r)| r <= now)
-            .map(|(&b, _)| b)
+            .map(|(&b, &r)| (r, b))
             .collect();
-        for b in ready {
+        ready.sort_unstable_by_key(|&(r, b)| (r, b.0));
+        for (_, b) in ready {
             self.nl_inflight.remove(&b);
             self.l1i.insert(b);
-            if self.cur_block.is_some_and(|cur| b.0 >= cur.0 && b.0 - cur.0 <= 2 * self.next_line_depth + 2)
+            if self
+                .cur_block
+                .is_some_and(|cur| b.0 >= cur.0 && b.0 - cur.0 <= 2 * self.next_line_depth + 2)
             {
                 self.issue_next_line(now, b, l2);
             }
@@ -333,7 +339,10 @@ impl<'a> Core<'a> {
             }
             let rec = match self.pending_rec.take() {
                 Some(r) => r,
-                None => self.stream.next().expect("instruction streams are infinite"),
+                None => self
+                    .stream
+                    .next()
+                    .expect("instruction streams are infinite"),
             };
             let block = rec.pc.block();
             let mut tag = self.pending_tag.take();
@@ -435,7 +444,11 @@ impl<'a> Core<'a> {
             pf.on_block_fetch(
                 &mut ctx,
                 block,
-                if l1_hit { FetchKind::L1Hit } else { FetchKind::Miss },
+                if l1_hit {
+                    FetchKind::L1Hit
+                } else {
+                    FetchKind::Miss
+                },
             )
         };
 

@@ -112,7 +112,9 @@ impl L2Stats {
     /// The paper's Figure 12 "base traffic" denominator: data reads,
     /// instruction fetches (demand + prefetch), and writebacks.
     pub fn base_traffic(&self) -> u64 {
-        self.of(L2ReqKind::IFetch) + self.of(L2ReqKind::IPrefetch) + self.of(L2ReqKind::Data)
+        self.of(L2ReqKind::IFetch)
+            + self.of(L2ReqKind::IPrefetch)
+            + self.of(L2ReqKind::Data)
             + self.of(L2ReqKind::Writeback)
     }
 
@@ -285,7 +287,9 @@ mod tests {
     #[test]
     fn first_touch_goes_to_memory() {
         let mut c = l2();
-        let r = c.request(0, BlockAddr(100), L2ReqKind::IFetch, None).unwrap();
+        let r = c
+            .request(0, BlockAddr(100), L2ReqKind::IFetch, None)
+            .unwrap();
         assert!(!r.hit);
         assert!(r.ready >= 20 + 180, "compulsory miss: {r:?}");
         // Second touch hits at L2 latency.
@@ -302,11 +306,15 @@ mod tests {
         let b = BlockAddr(16); // bank 0
         let same_bank = BlockAddr(32); // also bank 0
         let r1 = c.request(0, b, L2ReqKind::Data, Some(true)).unwrap();
-        let r2 = c.request(0, same_bank, L2ReqKind::Data, Some(true)).unwrap();
+        let r2 = c
+            .request(0, same_bank, L2ReqKind::Data, Some(true))
+            .unwrap();
         assert_eq!(r1.ready, 20);
         assert_eq!(r2.ready, 24, "second access waits for bank occupancy");
         // A different bank is unaffected.
-        let r3 = c.request(0, BlockAddr(17), L2ReqKind::Data, Some(true)).unwrap();
+        let r3 = c
+            .request(0, BlockAddr(17), L2ReqKind::Data, Some(true))
+            .unwrap();
         assert_eq!(r3.ready, 20);
     }
 
@@ -315,14 +323,18 @@ mod tests {
         let mut c = l2();
         let mut accepted = 0;
         for i in 0..100 {
-            if c.request(0, BlockAddr(i), L2ReqKind::Data, Some(true)).is_some() {
+            if c.request(0, BlockAddr(i), L2ReqKind::Data, Some(true))
+                .is_some()
+            {
                 accepted += 1;
             }
         }
         assert_eq!(accepted, 64, "64 MSHRs");
         assert_eq!(c.stats().mshr_rejects, 36);
         // After completions, capacity returns.
-        assert!(c.request(10_000, BlockAddr(500), L2ReqKind::Data, Some(true)).is_some());
+        assert!(c
+            .request(10_000, BlockAddr(500), L2ReqKind::Data, Some(true))
+            .is_some());
     }
 
     #[test]
@@ -364,7 +376,10 @@ mod tests {
                 dropped += 1;
             }
         }
-        assert!(applied >= 32 && dropped > 0, "applied={applied} dropped={dropped}");
+        assert!(
+            applied >= 32 && dropped > 0,
+            "applied={applied} dropped={dropped}"
+        );
         // Pressure clears with time.
         assert!(c.tag_update(1_000_000, BlockAddr(0)));
     }

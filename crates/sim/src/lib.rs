@@ -48,7 +48,7 @@ pub mod stats;
 
 pub use cmp::Cmp;
 pub use config::SystemConfig;
-pub use l2::{L2Response, L2ReqKind, L2Stats, L2};
+pub use l2::{L2ReqKind, L2Response, L2Stats, L2};
 pub use miss_trace::{miss_trace, miss_trace_with_model, FunctionalFetchModel};
 pub use prefetch::{IPrefetcher, NullPrefetcher, PrefetchCtx};
 pub use stats::{CoreStats, SimReport};

@@ -127,7 +127,10 @@ mod tests {
         let mut m = FunctionalFetchModel::new(&cfg());
         assert!(m.access_block(BlockAddr(100)));
         for b in 101..150 {
-            assert!(!m.access_block(BlockAddr(b)), "block {b} covered by next-line");
+            assert!(
+                !m.access_block(BlockAddr(b)),
+                "block {b} covered by next-line"
+            );
         }
     }
 

@@ -117,7 +117,10 @@ mod tests {
             l2: &mut l2,
         };
         let mut p = NullPrefetcher;
-        assert_eq!(p.on_block_fetch(&mut ctx, BlockAddr(1), FetchKind::Miss), None);
+        assert_eq!(
+            p.on_block_fetch(&mut ctx, BlockAddr(1), FetchKind::Miss),
+            None
+        );
         assert_eq!(p.name(), "next-line");
         assert!(p.counters().is_empty());
     }

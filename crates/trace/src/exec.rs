@@ -376,9 +376,14 @@ mod tests {
     fn deterministic_given_seed() {
         let p = call_chain_program();
         let take = |seed| -> Vec<FetchRecord> {
-            Walker::new(&p, TransactionMix::single(FuncId(0)), ExecConfig::default(), seed)
-                .take(500)
-                .collect()
+            Walker::new(
+                &p,
+                TransactionMix::single(FuncId(0)),
+                ExecConfig::default(),
+                seed,
+            )
+            .take(500)
+            .collect()
         };
         assert_eq!(take(7), take(7));
         assert_ne!(take(7), take(8), "different seeds should diverge");
@@ -499,11 +504,14 @@ mod tests {
             cold_entries: vec![FuncId(1), FuncId(2), FuncId(3)],
             cold_prob: 0.5,
         };
-        let records: Vec<FetchRecord> =
-            Walker::new(&p, mix, ExecConfig::default(), 21).take(400).collect();
+        let records: Vec<FetchRecord> = Walker::new(&p, mix, ExecConfig::default(), 21)
+            .take(400)
+            .collect();
         for base in [0x2000u64, 0x3000, 0x4000] {
             assert!(
-                records.iter().any(|r| r.pc.0 >= base && r.pc.0 < base + 0x100),
+                records
+                    .iter()
+                    .any(|r| r.pc.0 >= base && r.pc.0 < base + 0x100),
                 "cold entry at {base:#x} never executed"
             );
         }
@@ -531,10 +539,7 @@ mod tests {
                 .take(20_000)
                 .collect();
         let loads = records.iter().filter(|r| r.mem.is_load()).count();
-        let l2 = records
-            .iter()
-            .filter(|r| r.mem == MemClass::LoadL2)
-            .count();
+        let l2 = records.iter().filter(|r| r.mem == MemClass::LoadL2).count();
         assert!(loads > 1000);
         let rate = l2 as f64 / loads as f64;
         assert!((rate - 0.5).abs() < 0.05, "L2 rate {rate} should be ~0.5");

@@ -475,10 +475,7 @@ mod tests {
     fn out_of_range_target_rejected() {
         let f = Function {
             base: Addr(0x1000),
-            ops: vec![
-                StaticOp::Jump { target: 99 },
-                StaticOp::Return,
-            ],
+            ops: vec![StaticOp::Jump { target: 99 }, StaticOp::Return],
         };
         Program::new(vec![f]);
     }

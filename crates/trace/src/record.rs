@@ -42,7 +42,10 @@ pub enum MemClass {
 impl MemClass {
     /// Returns `true` for loads of any latency class.
     pub fn is_load(self) -> bool {
-        matches!(self, MemClass::LoadL1 | MemClass::LoadL2 | MemClass::LoadMem)
+        matches!(
+            self,
+            MemClass::LoadL1 | MemClass::LoadL2 | MemClass::LoadMem
+        )
     }
 }
 

@@ -424,14 +424,18 @@ impl Builder {
         let base = Addr(self.cursor);
         self.cursor += ops.len() as u64 * 4;
         // Random padding (multiple of 4 B) so block alignments vary.
-        self.cursor += 4 * self.rng.gen_range(0..16);
+        self.cursor += 4 * self.rng.gen_range(0..16u64);
         self.functions.push(Function { base, ops });
         id
     }
 
     /// Emits a function body made of straight runs, small hammocks, and
     /// possibly an innermost loop; optional calls to pool functions.
-    fn gen_body(&mut self, target_instrs: u32, callees: &[FuncId]) -> Vec<crate::program::StaticOp> {
+    fn gen_body(
+        &mut self,
+        target_instrs: u32,
+        callees: &[FuncId],
+    ) -> Vec<crate::program::StaticOp> {
         let mut b = FunctionBuilder::new();
         let mut emitted = 0u32;
         let mut callee_iter = callees.iter();
@@ -632,7 +636,11 @@ mod tests {
         let records: Vec<_> = w.walker(0).take(50_000).collect();
         assert_eq!(records.len(), 50_000);
         // Control flow must include calls, returns, conditionals.
-        for kind in [BranchKind::Call, BranchKind::Return, BranchKind::Conditional] {
+        for kind in [
+            BranchKind::Call,
+            BranchKind::Return,
+            BranchKind::Conditional,
+        ] {
             assert!(
                 records
                     .iter()

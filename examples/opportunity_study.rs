@@ -33,11 +33,16 @@ fn pick_spec(name: &str) -> WorkloadSpec {
 }
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "oltp-oracle".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "oltp-oracle".into());
     let spec = pick_spec(&name);
     let workload = Workload::build(&spec, 42);
     let n = 2_000_000;
-    println!("collecting {n}-instruction miss trace for '{}' ...", spec.name);
+    println!(
+        "collecting {n}-instruction miss trace for '{}' ...",
+        spec.name
+    );
 
     let records = workload.walker(0).take(n);
     let (miss, model) = miss_trace_with_model(records, &SystemConfig::table2());
