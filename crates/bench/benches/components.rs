@@ -8,7 +8,8 @@ use tifs_core::{FunctionalConfig, FunctionalTifs};
 use tifs_sequitur::{LceIndex, Sequitur};
 use tifs_sim::bpred::HybridPredictor;
 use tifs_sim::cache::SetAssocCache;
-use tifs_trace::codec::{read_trace, write_trace};
+use tifs_trace::codec::{read_symbol_sections, read_trace, write_symbol_sections, write_trace};
+use tifs_trace::store::{TraceKey, TraceStore};
 use tifs_trace::{Addr, BlockAddr};
 
 fn bench_sequitur(c: &mut Criterion) {
@@ -137,6 +138,48 @@ fn bench_functional_tifs(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_trace_store(c: &mut Criterion) {
+    // The warm-start path: encode/decode a 1M-instruction miss trace
+    // through the store codec, and round-trip it through the filesystem.
+    let sections: Vec<Vec<u64>> = vec![bench_miss_trace_local().iter().map(|b| b.0).collect()];
+    let mut g = c.benchmark_group("trace_store");
+    g.throughput(Throughput::Elements(sections[0].len() as u64));
+    g.sample_size(10);
+    g.bench_function("encode_miss_trace", |b| {
+        b.iter_batched(
+            Vec::new,
+            |mut buf| {
+                write_symbol_sections(&mut buf, 1, &sections).expect("encode");
+                buf.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let mut encoded = Vec::new();
+    write_symbol_sections(&mut encoded, 1, &sections).expect("encode");
+    g.bench_function("decode_miss_trace", |b| {
+        b.iter(|| {
+            read_symbol_sections(&mut encoded.as_slice(), Some(1))
+                .expect("decode")
+                .len()
+        })
+    });
+    let dir = std::env::temp_dir().join(format!("tifs-bench-store-{}", std::process::id()));
+    let store = TraceStore::new(&dir).expect("store dir");
+    let key = TraceKey(0xBE7C);
+    // Seed the entry unconditionally so store_load works even when a
+    // bench filter skips store_save.
+    store.save(&key, &sections).expect("seed entry");
+    g.bench_function("store_save", |b| {
+        b.iter(|| store.save(&key, &sections).expect("save"))
+    });
+    g.bench_function("store_load", |b| {
+        b.iter(|| store.load(&key).expect("load").len())
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    g.finish();
+}
+
 fn bench_miss_trace_local() -> Vec<BlockAddr> {
     tifs_bench::bench_miss_trace(1_000_000)
 }
@@ -149,6 +192,7 @@ criterion_group!(
     bench_bpred,
     bench_walker,
     bench_codec,
+    bench_trace_store,
     bench_functional_tifs
 );
 criterion_main!(benches);

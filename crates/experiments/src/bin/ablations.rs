@@ -19,6 +19,7 @@ use tifs_core::TifsConfig;
 use tifs_experiments::engine::{ExperimentGrid, SystemSpec};
 use tifs_experiments::harness::{ExpConfig, SystemKind};
 use tifs_experiments::report::render_table;
+use tifs_experiments::sink::{self, Cell, StructuredReport};
 use tifs_trace::workload::WorkloadSpec;
 
 fn main() {
@@ -82,16 +83,39 @@ fn main() {
     let row = results.row(0);
     let base_ipc = row.ipc(SystemKind::NextLine);
 
+    let mut structured = StructuredReport::new(
+        "ablations",
+        "TIFS design-space ablations on OLTP DB2",
+        [
+            "configuration",
+            "speedup",
+            "coverage",
+            "discards",
+            "streams",
+            "iml_traffic",
+        ],
+    );
     let rows: Vec<Vec<String>> = row
         .iter()
         .filter(|(spec, _)| **spec != SystemSpec::Kind(SystemKind::NextLine))
         .map(|(spec, r)| {
+            let speedup = r.aggregate_ipc() / base_ipc;
+            let discards = r.prefetcher_counter("discards").unwrap_or(0.0);
+            let streams = r.prefetcher_counter("streams").unwrap_or(0.0);
+            structured.push_row(vec![
+                Cell::Text(spec.name()),
+                Cell::Num(speedup),
+                Cell::Num(r.coverage()),
+                Cell::Num(discards),
+                Cell::Num(streams),
+                Cell::from(r.l2.iml_traffic()),
+            ]);
             vec![
                 spec.name(),
-                format!("{:.3}", r.aggregate_ipc() / base_ipc),
+                format!("{speedup:.3}"),
                 format!("{:.1}%", 100.0 * r.coverage()),
-                format!("{:.0}", r.prefetcher_counter("discards").unwrap_or(0.0)),
-                format!("{:.0}", r.prefetcher_counter("streams").unwrap_or(0.0)),
+                format!("{discards:.0}"),
+                format!("{streams:.0}"),
                 format!("{}", r.l2.iml_traffic()),
             ]
         })
@@ -112,4 +136,5 @@ fn main() {
         )
     );
     println!("\nbaseline (next-line only) IPC: {base_ipc:.3}");
+    sink::publish(&structured);
 }

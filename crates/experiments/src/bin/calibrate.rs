@@ -3,7 +3,8 @@
 //! stream length, Recent-heuristic coverage). Used when retuning the
 //! synthetic workload parameters; see DESIGN.md §1 for the target shapes.
 //!
-//! Workloads build and analyze in parallel through the engine [`Lab`].
+//! Workloads build and analyze in parallel through the engine [`Lab`];
+//! the summary is also written as a structured report (`TIFS_RESULTS`).
 //!
 //! ```sh
 //! cargo run --release -p tifs-experiments --bin calibrate [instructions]
@@ -11,12 +12,27 @@
 
 use tifs_experiments::engine::Lab;
 use tifs_experiments::harness::ExpConfig;
+use tifs_experiments::sink::{self, Cell, StructuredReport};
 use tifs_sequitur::categorize::{categorize, CategoryCounts};
 use tifs_sequitur::heuristics::{evaluate_heuristic, Heuristic, HeuristicConfig};
 use tifs_sequitur::streams::stream_occurrences;
 use tifs_sequitur::LengthCdf;
 use tifs_sim::{miss_trace_with_model, SystemConfig};
 use tifs_trace::filter::collapse_sequential;
+
+struct CalRow {
+    name: String,
+    text_kb: u64,
+    miss_per_1k: f64,
+    miss_rate: f64,
+    misses: usize,
+    repetitive: f64,
+    opportunity: f64,
+    median_len: usize,
+    recent_cov: f64,
+    opp_cov: f64,
+    secs: f64,
+}
 
 fn main() {
     let n: u64 = std::env::args()
@@ -45,22 +61,63 @@ fn main() {
         let recent = evaluate_heuristic(&trace, &HeuristicConfig::new(Heuristic::Recent));
         let opp = evaluate_heuristic(&trace, &HeuristicConfig::new(Heuristic::Opportunity));
         let (_acc, misses) = model.totals();
-        format!(
-            "{:12} text={:6}KB txn miss/1k-instr={:5.1} missrate={:5.3} misses={:7} rep={:5.3} opp={:5.3} medlen={:4} recent={:5.3} oppcov={:5.3}  [{:.1}s]",
-            ctx.spec().name,
-            ctx.workload().program.text_bytes() / 1024,
-            1000.0 * misses as f64 / n as f64,
-            model.miss_rate(),
-            trace.len(),
-            counts.repetitive_fraction(),
-            counts.fractions()[0],
-            med,
-            recent.coverage(),
-            opp.coverage(),
-            t0.elapsed().as_secs_f64(),
-        )
+        CalRow {
+            name: ctx.spec().name.to_string(),
+            text_kb: ctx.workload().program.text_bytes() / 1024,
+            miss_per_1k: 1000.0 * misses as f64 / n as f64,
+            miss_rate: model.miss_rate(),
+            misses: trace.len(),
+            repetitive: counts.repetitive_fraction(),
+            opportunity: counts.fractions()[0],
+            median_len: med,
+            recent_cov: recent.coverage(),
+            opp_cov: opp.coverage(),
+            secs: t0.elapsed().as_secs_f64(),
+        }
     });
-    for line in rows {
-        println!("{line}");
+    let mut structured = StructuredReport::new(
+        "calibrate",
+        "Workload calibration summary vs. paper targets",
+        [
+            "workload",
+            "text_kb",
+            "miss_per_1k_instr",
+            "miss_rate",
+            "misses",
+            "repetitive",
+            "opportunity",
+            "median_stream_len",
+            "recent_coverage",
+            "opportunity_coverage",
+        ],
+    );
+    for r in &rows {
+        println!(
+            "{:12} text={:6}KB txn miss/1k-instr={:5.1} missrate={:5.3} misses={:7} rep={:5.3} opp={:5.3} medlen={:4} recent={:5.3} oppcov={:5.3}  [{:.1}s]",
+            r.name,
+            r.text_kb,
+            r.miss_per_1k,
+            r.miss_rate,
+            r.misses,
+            r.repetitive,
+            r.opportunity,
+            r.median_len,
+            r.recent_cov,
+            r.opp_cov,
+            r.secs,
+        );
+        structured.push_row(vec![
+            Cell::from(r.name.as_str()),
+            Cell::from(r.text_kb),
+            Cell::Num(r.miss_per_1k),
+            Cell::Num(r.miss_rate),
+            Cell::from(r.misses),
+            Cell::Num(r.repetitive),
+            Cell::Num(r.opportunity),
+            Cell::from(r.median_len),
+            Cell::Num(r.recent_cov),
+            Cell::Num(r.opp_cov),
+        ]);
     }
+    sink::publish(&structured);
 }

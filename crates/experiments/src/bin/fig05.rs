@@ -1,10 +1,17 @@
 //! Regenerates the paper's Figure 05 data. Flags: --instructions N --warmup N --seed N.
+//!
+//! Uses the persistent trace store (`TIFS_TRACE_STORE`) and writes a
+//! structured JSON/CSV report (`TIFS_RESULTS`, default `results/`).
 
+use tifs_experiments::engine::Lab;
 use tifs_experiments::figures::fig05;
 use tifs_experiments::harness::ExpConfig;
+use tifs_experiments::sink;
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    let results = fig05::run(&cfg);
+    let lab = Lab::all_six(cfg).with_store_from_env();
+    let results = fig05::run_on(&lab);
     println!("{}", fig05::render(&results));
+    sink::publish(&fig05::structured(&results));
 }

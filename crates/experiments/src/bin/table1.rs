@@ -1,9 +1,14 @@
-//! Prints Table I (workload suite parameters).
+//! Prints Table I (workload suite parameters) and writes its structured
+//! report (`TIFS_RESULTS`, default `results/`).
 
+use tifs_experiments::engine::Lab;
 use tifs_experiments::figures::tables;
 use tifs_experiments::harness::ExpConfig;
+use tifs_experiments::sink;
 
 fn main() {
     let cfg = ExpConfig::from_args();
-    println!("{}", tables::render_table1(cfg.seed));
+    let lab = Lab::all_six(cfg).with_store_from_env();
+    println!("{}", tables::render_table1_on(&lab));
+    sink::publish(&tables::structured_table1(&lab));
 }

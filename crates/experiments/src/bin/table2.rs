@@ -1,7 +1,10 @@
-//! Prints Table II (system parameters).
+//! Prints Table II (system parameters) and writes its structured report
+//! (`TIFS_RESULTS`, default `results/`).
 
 use tifs_experiments::figures::tables;
+use tifs_experiments::sink;
 
 fn main() {
     println!("{}", tables::render_table2());
+    sink::publish(&tables::structured_table2());
 }

@@ -13,7 +13,10 @@
 //!   rayon-style ordered parallel map on `std::thread::scope` — the
 //!   workspace builds offline and cannot depend on rayon itself);
 //! * caches per-workload L1-I miss traces so the SEQUITUR analyses share
-//!   one functional-model pass ([`Lab::miss_traces`]).
+//!   one functional-model pass ([`Lab::miss_traces`]), and — with a
+//!   persistent [`TraceStore`] attached ([`Lab::with_store`]) — writes
+//!   them through to disk so later processes warm-start without
+//!   re-running the functional model at all.
 //!
 //! Cells are deterministic: a grid produces bit-identical [`SimReport`]s
 //! whether run serially or in parallel, because every cell derives its
@@ -46,6 +49,7 @@ use tifs_sim::cmp::Cmp;
 use tifs_sim::config::SystemConfig;
 use tifs_sim::prefetch::{IPrefetcher, NullPrefetcher};
 use tifs_sim::stats::SimReport;
+use tifs_trace::store::{TraceKey, TraceStore};
 use tifs_trace::workload::{Workload, WorkloadSpec};
 use tifs_trace::{BlockAddr, FetchRecord};
 
@@ -54,6 +58,19 @@ use crate::harness::{ExpConfig, SystemKind};
 /// Cores the cached analysis miss traces are collected for (the paper's
 /// trace studies use the 4-core CMP).
 pub const ANALYSIS_CORES: usize = 4;
+
+/// Store section name for derivations that run the functional fetch
+/// model: appends the model's cache geometry (L1-I size/ways, next-line
+/// depth) to `base`, so retuning [`SystemConfig::table2`] re-addresses
+/// store entries instead of silently reusing stale ones. `base` carries
+/// its own derivation version (e.g. `miss_trace`, `fig10_lookahead_v1`).
+pub fn functional_section(base: &str) -> String {
+    let sys = SystemConfig::table2();
+    format!(
+        "{base}/l1i{}x{}nl{}",
+        sys.l1i_bytes, sys.l1i_ways, sys.next_line_depth
+    )
+}
 
 /// Rayon-style ordered parallel map over borrowed items, built on
 /// `std::thread::scope` (the workspace builds offline, so rayon itself is
@@ -232,6 +249,7 @@ pub struct Lab {
     specs: Vec<WorkloadSpec>,
     workloads: Vec<Workload>,
     traces: Vec<OnceLock<Vec<Vec<BlockAddr>>>>,
+    store: Option<TraceStore>,
 }
 
 impl Lab {
@@ -251,12 +269,35 @@ impl Lab {
             specs,
             workloads,
             traces,
+            store: None,
         }
     }
 
     /// The paper's six Table-I workloads.
     pub fn all_six(exp: ExpConfig) -> Lab {
         Lab::build(WorkloadSpec::all_six(), exp)
+    }
+
+    /// Attaches a persistent [`TraceStore`]: cached miss traces are read
+    /// from it when present and written through on first build. The store
+    /// is a pure cache — entries are keyed by a fingerprint of every
+    /// input, so attached and detached labs produce identical traces.
+    pub fn with_store(mut self, store: TraceStore) -> Lab {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attaches the store selected by `TIFS_TRACE_STORE` (default
+    /// directory when unset, disabled by `off`/`0`/`none`). Binaries call
+    /// this; library users and tests stay hermetic unless they opt in.
+    pub fn with_store_from_env(mut self) -> Lab {
+        self.store = TraceStore::from_env();
+        self
+    }
+
+    /// The attached trace store, if any.
+    pub fn store(&self) -> Option<&TraceStore> {
+        self.store.as_ref()
     }
 
     /// The experiment parameters the lab was built with.
@@ -287,14 +328,37 @@ impl Lab {
     /// Per-core L1-I miss traces of workload `i` ([`ANALYSIS_CORES`]
     /// cores, `exp.instructions` per core, paper Section 4.1 miss
     /// definition), computed on first use and cached for every later
-    /// analysis.
+    /// analysis. With a store attached ([`with_store`](Self::with_store)),
+    /// traces persist across processes: a warm run streams them back from
+    /// disk instead of re-running the functional model.
     pub fn miss_traces(&self, i: usize) -> &[Vec<BlockAddr>] {
         self.traces[i].get_or_init(|| {
-            crate::harness::collect_miss_traces(
+            let key = TraceKey::for_section(
+                &functional_section("miss_trace"),
+                &self.specs[i],
+                self.exp.seed,
+                self.exp.instructions,
+                ANALYSIS_CORES,
+            );
+            if let Some(store) = &self.store {
+                if let Some(traces) = store.load_blocks(&key) {
+                    return traces;
+                }
+            }
+            let traces = crate::harness::collect_miss_traces(
                 &self.workloads[i],
                 self.exp.instructions,
                 ANALYSIS_CORES,
-            )
+            );
+            if let Some(store) = &self.store {
+                if let Err(e) = store.save_blocks(&key, &traces) {
+                    eprintln!(
+                        "[trace-store] failed to persist {} miss traces: {e}",
+                        self.specs[i].name
+                    );
+                }
+            }
+            traces
         })
     }
 
@@ -359,6 +423,25 @@ impl WorkloadCtx<'_> {
     /// Cached miss traces as SEQUITUR symbols.
     pub fn symbol_traces(&self) -> Vec<Vec<u64>> {
         self.lab.symbol_traces(self.index)
+    }
+
+    /// The lab's persistent trace store, if one is attached — analyses
+    /// with their own derived passes (e.g. Figure 10's lookahead scan)
+    /// persist those under their own [`TraceKey::for_section`] keys.
+    pub fn store(&self) -> Option<&TraceStore> {
+        self.lab.store()
+    }
+
+    /// Store key for a derived section of this workload at the lab's
+    /// experiment parameters.
+    pub fn section_key(&self, section: &str, cores: usize) -> TraceKey {
+        TraceKey::for_section(
+            section,
+            self.spec(),
+            self.exp().seed,
+            self.exp().instructions,
+            cores,
+        )
     }
 }
 
@@ -616,6 +699,29 @@ mod tests {
         let b = lab.miss_traces(0).as_ptr();
         assert_eq!(a, b, "second call must hit the cache");
         assert_eq!(lab.miss_traces(0).len(), ANALYSIS_CORES);
+    }
+
+    #[test]
+    fn lab_store_warm_start_matches_cold_build() {
+        let dir = std::env::temp_dir().join(format!("tifs-engine-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mk = || {
+            Lab::build(vec![WorkloadSpec::tiny_test()], tiny_exp())
+                .with_store(TraceStore::new(&dir).expect("store dir"))
+        };
+        let cold = mk();
+        let cold_traces = cold.miss_traces(0).to_vec();
+        let s = cold.store().unwrap().stats();
+        assert_eq!((s.hits, s.misses, s.writes), (0, 1, 1));
+        let warm = mk();
+        let warm_traces = warm.miss_traces(0).to_vec();
+        let s = warm.store().unwrap().stats();
+        assert_eq!((s.hits, s.misses, s.writes), (1, 0, 0));
+        assert_eq!(cold_traces, warm_traces);
+        // The store is a pure cache: a storeless lab agrees exactly.
+        let plain = Lab::build(vec![WorkloadSpec::tiny_test()], tiny_exp());
+        assert_eq!(plain.miss_traces(0), &warm_traces[..]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

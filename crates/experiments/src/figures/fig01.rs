@@ -9,6 +9,7 @@
 use crate::engine::{ExperimentGrid, Lab};
 use crate::harness::{ExpConfig, SystemKind};
 use crate::report::{linear_regression, render_table};
+use crate::sink::{Cell, StructuredReport};
 
 /// One workload's sweep.
 #[derive(Clone, Debug)]
@@ -67,6 +68,34 @@ pub fn run_on(lab: &Lab) -> Vec<OpportunityCurve> {
             }
         })
         .collect()
+}
+
+/// Canonical structured form of the sweep (one row per workload).
+pub fn structured(curves: &[OpportunityCurve]) -> StructuredReport {
+    let mut columns = vec!["workload".to_string()];
+    columns.extend(
+        COVERAGES
+            .iter()
+            .map(|c| format!("speedup_at_{:.0}pct", c * 100.0)),
+    );
+    columns.extend(["slope", "intercept", "r2", "at_full_coverage"].map(String::from));
+    let mut report = StructuredReport::new(
+        "fig01",
+        "Figure 1 — speedup over next-line prefetching vs. fraction of L1-I misses eliminated",
+        columns,
+    );
+    for c in curves {
+        let mut row = vec![Cell::from(c.workload.as_str())];
+        row.extend(c.points.iter().map(|&(_, s)| Cell::Num(s)));
+        row.extend([
+            Cell::Num(c.slope),
+            Cell::Num(c.intercept),
+            Cell::Num(c.r2),
+            Cell::Num(c.speedup_at_full_coverage()),
+        ]);
+        report.push_row(row);
+    }
+    report
 }
 
 /// Renders the sweep as the paper's figure data.

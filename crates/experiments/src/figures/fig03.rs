@@ -6,6 +6,7 @@ use tifs_sequitur::categorize::{categorize, CategoryCounts};
 use crate::engine::Lab;
 use crate::harness::ExpConfig;
 use crate::report::{pct, render_table};
+use crate::sink::{Cell, StructuredReport};
 
 /// Per-workload categorization outcome (summed across cores).
 #[derive(Clone, Debug)]
@@ -38,6 +39,36 @@ pub fn run_on(lab: &Lab) -> Vec<Categorization> {
             counts,
         }
     })
+}
+
+/// Canonical structured form (fractions as numbers, not percentages).
+pub fn structured(results: &[Categorization]) -> StructuredReport {
+    let mut report = StructuredReport::new(
+        "fig03",
+        "Figure 3 — L1-I miss categorization",
+        [
+            "workload",
+            "misses",
+            "opportunity",
+            "head",
+            "new",
+            "non_repetitive",
+            "repetitive",
+        ],
+    );
+    for r in results {
+        let [opp, head, new, nonrep] = r.counts.fractions();
+        report.push_row(vec![
+            Cell::from(r.workload.as_str()),
+            Cell::from(r.counts.total() as u64),
+            Cell::Num(opp),
+            Cell::Num(head),
+            Cell::Num(new),
+            Cell::Num(nonrep),
+            Cell::Num(r.counts.repetitive_fraction()),
+        ]);
+    }
+    report
 }
 
 /// Renders the per-workload category fractions.

@@ -8,6 +8,7 @@ use tifs_trace::filter::collapse_sequential;
 use crate::engine::Lab;
 use crate::harness::ExpConfig;
 use crate::report::render_table;
+use crate::sink::{Cell, StructuredReport};
 
 /// Per-workload stream-length distribution (cores merged).
 #[derive(Clone, Debug)]
@@ -37,6 +38,31 @@ pub fn run_on(lab: &Lab) -> Vec<StreamLengths> {
             cdf: LengthCdf::from_occurrences(&occurrences),
         }
     })
+}
+
+/// Canonical structured form (quantiles; absent quantiles are null).
+pub fn structured(results: &[StreamLengths]) -> StructuredReport {
+    let mut report = StructuredReport::new(
+        "fig05",
+        "Figure 5 — temporal stream length CDF (discontinuous blocks)",
+        ["workload", "opportunity", "p25", "median", "p75", "p90"],
+    );
+    for r in results {
+        let q = |p: f64| {
+            r.cdf
+                .quantile(p)
+                .map_or(Cell::Null, |v| Cell::from(v as u64))
+        };
+        report.push_row(vec![
+            Cell::from(r.workload.as_str()),
+            Cell::from(r.cdf.total_opportunity() as u64),
+            q(0.25),
+            q(0.5),
+            q(0.75),
+            q(0.9),
+        ]);
+    }
+    report
 }
 
 /// Renders quantiles of each CDF (the paper reads the median off the

@@ -6,6 +6,7 @@ use tifs_sequitur::heuristics::{evaluate_heuristic, Heuristic, HeuristicConfig};
 use crate::engine::Lab;
 use crate::harness::ExpConfig;
 use crate::report::{pct, render_table};
+use crate::sink::{Cell, StructuredReport};
 
 /// Per-workload heuristic coverages (misses summed across cores).
 #[derive(Clone, Debug)]
@@ -48,6 +49,23 @@ pub fn run_on(lab: &Lab) -> Vec<HeuristicRow> {
             coverage,
         }
     })
+}
+
+/// Canonical structured form (one coverage column per heuristic).
+pub fn structured(results: &[HeuristicRow]) -> StructuredReport {
+    let mut columns = vec!["workload".to_string()];
+    columns.extend(Heuristic::ALL.iter().map(|h| h.name().to_lowercase()));
+    let mut report = StructuredReport::new(
+        "fig06",
+        "Figure 6 — fraction of misses eliminable per stream-lookup heuristic",
+        columns,
+    );
+    for r in results {
+        let mut row = vec![Cell::from(r.workload.as_str())];
+        row.extend(r.coverage.iter().map(|&c| Cell::Num(c)));
+        report.push_row(row);
+    }
+    report
 }
 
 /// Renders the heuristic comparison.

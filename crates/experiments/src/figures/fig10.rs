@@ -14,6 +14,7 @@ use tifs_trace::BranchKind;
 use crate::engine::Lab;
 use crate::harness::ExpConfig;
 use crate::report::{pct, render_table};
+use crate::sink::{Cell, StructuredReport};
 
 /// Distribution of branches-per-4-miss-lookahead for one workload.
 #[derive(Clone, Debug)]
@@ -48,34 +49,54 @@ impl LookaheadDist {
 /// Misses of lookahead to aggregate over (the paper uses four).
 pub const LOOKAHEAD_MISSES: usize = 4;
 
+/// Store section name for the cached per-miss cumulative branch counts
+/// (core 0's derived pass; bump on any change to the derivation).
+const STORE_SECTION: &str = "fig10_lookahead_v1";
+
 /// Runs the Figure 10 analysis (core 0's stream per workload).
 pub fn run(cfg: &ExpConfig) -> Vec<LookaheadDist> {
     run_on(&Lab::all_six(*cfg))
 }
 
-/// As [`run`], on an existing lab (workloads built once, shared).
+/// As [`run`], on an existing lab (workloads built once, shared). When
+/// the lab has a persistent trace store, the derived per-miss branch
+/// marks are cached under their own section key, so warm runs skip this
+/// figure's functional-model pass entirely.
 pub fn run_on(lab: &Lab) -> Vec<LookaheadDist> {
     let sys = SystemConfig::table2();
     lab.analyze(|ctx| {
-        let mut model = FunctionalFetchModel::new(&sys);
-        // Cumulative non-inner-loop conditional-branch count at each
-        // miss position.
-        let mut branch_cum: u64 = 0;
-        let mut miss_marks: Vec<u64> = Vec::new();
-        for rec in ctx
-            .workload()
-            .walker(0)
-            .take(ctx.exp().instructions as usize)
-        {
-            if model.access_pc(rec.pc).is_some() {
-                miss_marks.push(branch_cum);
-            }
-            if let Some(b) = rec.branch {
-                if b.kind == BranchKind::Conditional && !b.inner_loop {
-                    branch_cum += 1;
+        let key = ctx.section_key(&crate::engine::functional_section(STORE_SECTION), 1);
+        let miss_marks: Vec<u64> = ctx
+            .store()
+            .and_then(|store| store.load(&key))
+            .and_then(|mut sections| (sections.len() == 1).then(|| sections.remove(0)))
+            .unwrap_or_else(|| {
+                let mut model = FunctionalFetchModel::new(&sys);
+                // Cumulative non-inner-loop conditional-branch count at
+                // each miss position.
+                let mut branch_cum: u64 = 0;
+                let mut marks: Vec<u64> = Vec::new();
+                for rec in ctx
+                    .workload()
+                    .walker(0)
+                    .take(ctx.exp().instructions as usize)
+                {
+                    if model.access_pc(rec.pc).is_some() {
+                        marks.push(branch_cum);
+                    }
+                    if let Some(b) = rec.branch {
+                        if b.kind == BranchKind::Conditional && !b.inner_loop {
+                            branch_cum += 1;
+                        }
+                    }
                 }
-            }
-        }
+                if let Some(store) = ctx.store() {
+                    if let Err(e) = store.save(&key, std::slice::from_ref(&marks)) {
+                        eprintln!("[trace-store] failed to persist fig10 marks: {e}");
+                    }
+                }
+                marks
+            });
         let mut counts: Vec<u32> = miss_marks
             .windows(LOOKAHEAD_MISSES + 1)
             .map(|w| (w[LOOKAHEAD_MISSES] - w[0]) as u32)
@@ -86,6 +107,35 @@ pub fn run_on(lab: &Lab) -> Vec<LookaheadDist> {
             counts,
         }
     })
+}
+
+/// Canonical structured form (quantiles plus the >16-branch fraction).
+pub fn structured(results: &[LookaheadDist]) -> StructuredReport {
+    let mut report = StructuredReport::new(
+        "fig10",
+        "Figure 10 — non-inner-loop branch predictions needed for a 4-miss lookahead",
+        [
+            "workload",
+            "misses",
+            "p25",
+            "median",
+            "p75",
+            "p90",
+            "frac_above_16",
+        ],
+    );
+    for r in results {
+        report.push_row(vec![
+            Cell::from(r.workload.as_str()),
+            Cell::from(r.counts.len()),
+            Cell::from(u64::from(r.quantile(0.25))),
+            Cell::from(u64::from(r.quantile(0.5))),
+            Cell::from(u64::from(r.quantile(0.75))),
+            Cell::from(u64::from(r.quantile(0.9))),
+            Cell::Num(r.fraction_above(16)),
+        ]);
+    }
+    report
 }
 
 /// Renders quantiles and the paper's ">16 branches" headline fraction.

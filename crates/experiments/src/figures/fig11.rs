@@ -6,6 +6,7 @@ use tifs_core::{entries_per_core_for_kb, FunctionalConfig, FunctionalTifs};
 use crate::engine::{Lab, ANALYSIS_CORES};
 use crate::harness::ExpConfig;
 use crate::report::{pct, render_table};
+use crate::sink::{Cell, StructuredReport};
 
 /// Swept total IML storage budgets in kilobytes (log-ish scale, as the
 /// paper's 10–1000 KB x-axis).
@@ -51,6 +52,23 @@ pub fn run_on(lab: &Lab) -> Vec<CapacityCurve> {
             points,
         }
     })
+}
+
+/// Canonical structured form (one coverage column per storage budget).
+pub fn structured(results: &[CapacityCurve]) -> StructuredReport {
+    let mut columns = vec!["workload".to_string()];
+    columns.extend(STORAGE_KB.iter().map(|kb| format!("coverage_at_{kb:.0}kb")));
+    let mut report = StructuredReport::new(
+        "fig11",
+        "Figure 11 — TIFS coverage vs. total IML storage (perfect dedicated index)",
+        columns,
+    );
+    for r in results {
+        let mut row = vec![Cell::from(r.workload.as_str())];
+        row.extend(r.points.iter().map(|&(_, c)| Cell::Num(c)));
+        report.push_row(row);
+    }
+    report
 }
 
 /// Renders coverage per storage budget.

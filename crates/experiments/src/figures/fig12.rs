@@ -9,6 +9,7 @@
 use crate::engine::{ExperimentGrid, Lab};
 use crate::harness::{ExpConfig, SystemKind};
 use crate::report::{pct, render_table};
+use crate::sink::{Cell, StructuredReport};
 
 /// One workload's Figure 12 measurements.
 #[derive(Clone, Debug)]
@@ -70,6 +71,37 @@ pub fn run_on(lab: &Lab) -> Vec<TrafficRow> {
             }
         })
         .collect()
+}
+
+/// Canonical structured form (both panels, one row per workload).
+pub fn structured(results: &[TrafficRow]) -> StructuredReport {
+    let mut report = StructuredReport::new(
+        "fig12",
+        "Figure 12 — TIFS coverage / discards and L2 traffic overhead (156 KB virtualized IML)",
+        [
+            "workload",
+            "coverage",
+            "miss",
+            "discard",
+            "iml_read_frac",
+            "iml_write_frac",
+            "discard_frac",
+            "total_overhead",
+        ],
+    );
+    for r in results {
+        report.push_row(vec![
+            Cell::from(r.workload.as_str()),
+            Cell::Num(r.coverage),
+            Cell::Num(r.miss),
+            Cell::Num(r.discard),
+            Cell::Num(r.iml_read_frac),
+            Cell::Num(r.iml_write_frac),
+            Cell::Num(r.discard_frac),
+            Cell::Num(r.total_overhead()),
+        ]);
+    }
+    report
 }
 
 /// Renders both panels.

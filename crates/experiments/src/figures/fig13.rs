@@ -6,6 +6,7 @@
 use crate::engine::{ExperimentGrid, Lab};
 use crate::harness::{ExpConfig, SystemKind};
 use crate::report::render_table;
+use crate::sink::{Cell, StructuredReport};
 
 /// One workload's bar group.
 #[derive(Clone, Debug)]
@@ -48,6 +49,28 @@ pub fn run_on(lab: &Lab) -> Vec<SpeedupRow> {
             }
         })
         .collect()
+}
+
+/// Canonical structured form (one speedup column per system).
+pub fn structured(results: &[SpeedupRow]) -> StructuredReport {
+    let systems = SystemKind::figure13();
+    let mut columns = vec!["workload".to_string()];
+    columns.extend(systems.iter().map(|s| s.name()));
+    let mut report = StructuredReport::new(
+        "fig13",
+        "Figure 13 — speedup over next-line prefetching",
+        columns,
+    );
+    for r in results {
+        let mut row = vec![Cell::from(r.workload.as_str())];
+        row.extend(
+            systems
+                .iter()
+                .map(|&k| r.of(k).map_or(Cell::Null, Cell::Num)),
+        );
+        report.push_row(row);
+    }
+    report
 }
 
 /// Renders the bar groups plus the paper's headline aggregates.

@@ -10,7 +10,10 @@
 //! reports, plus an [`engine::Lab`] of shared workloads and cached miss
 //! traces for the SEQUITUR analyses. [`harness`] keeps the experiment
 //! parameters, the [`harness::SystemKind`] taxonomy, and compatibility
-//! wrappers; [`report`] renders tables and fits.
+//! wrappers; [`report`] renders tables and fits; [`sink`] serializes
+//! every driver's results as canonical, diffable JSON/CSV reports under
+//! `results/`, and [`engine::Lab::with_store`] persists cached miss
+//! traces to disk so repeat evaluations warm-start.
 //!
 //! ```no_run
 //! use tifs_experiments::harness::{run_system, ExpConfig, SystemKind};
@@ -27,6 +30,8 @@ pub mod engine;
 pub mod figures;
 pub mod harness;
 pub mod report;
+pub mod sink;
 
 pub use engine::{ExperimentGrid, GridResults, Lab, SystemSpec};
 pub use harness::{collect_miss_traces, run_system, to_symbol_traces, ExpConfig, SystemKind};
+pub use sink::{ResultsSink, StructuredReport};

@@ -22,7 +22,10 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     for row in rows {
         let mut line = String::new();
         for (i, cell) in row.iter().enumerate() {
-            line.push_str(&format!("{:>width$}  ", cell, width = widths[i]));
+            // A row wider than the header has no computed width; fall
+            // back to the cell's own length instead of panicking.
+            let width = widths.get(i).copied().unwrap_or(cell.len());
+            line.push_str(&format!("{cell:>width$}  "));
         }
         out.push_str(line.trim_end());
         out.push('\n');
@@ -83,6 +86,18 @@ mod tests {
         );
         assert!(t.contains("longer"));
         assert!(t.lines().count() >= 4);
+    }
+
+    #[test]
+    fn table_tolerates_rows_wider_than_header() {
+        // A malformed row with more cells than headers must render (the
+        // extra cells at their natural width), not panic.
+        let t = render_table(
+            &["only"],
+            &[vec!["a".into(), "overflow-1".into(), "overflow-2".into()]],
+        );
+        assert!(t.contains("overflow-1"));
+        assert!(t.contains("overflow-2"));
     }
 
     #[test]

@@ -5,7 +5,9 @@
 
 use tifs_experiments::engine::{ExperimentGrid, Lab, SystemSpec};
 use tifs_experiments::harness::{ExpConfig, SystemKind};
+use tifs_experiments::sink;
 use tifs_sim::config::SystemConfig;
+use tifs_trace::store::TraceStore;
 use tifs_trace::workload::WorkloadSpec;
 
 fn exp() -> ExpConfig {
@@ -63,6 +65,64 @@ fn shared_lab_and_fresh_builds_agree() {
     let shared = fingerprint(&grid().run_on(&lab));
     let fresh = fingerprint(&grid().run());
     assert_eq!(shared, fresh);
+}
+
+#[test]
+fn cold_start_equals_warm_start_byte_identically() {
+    // The trace store is a pure cache: a cold run (store empty, traces
+    // computed and written through) and a warm run (traces streamed back
+    // from disk) must produce identical analysis traces and
+    // byte-identical structured reports.
+    let dir = std::env::temp_dir().join(format!("tifs-determinism-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let specs = || vec![WorkloadSpec::tiny_test(), WorkloadSpec::web_zeus()];
+    let lab_with_store =
+        || Lab::build(specs(), exp()).with_store(TraceStore::new(&dir).expect("store dir"));
+
+    let cold = lab_with_store();
+    let cold_traces: Vec<_> = (0..cold.len())
+        .map(|i| cold.miss_traces(i).to_vec())
+        .collect();
+    let cold_stats = cold.store().unwrap().stats();
+    assert_eq!(
+        (cold_stats.hits, cold_stats.misses, cold_stats.writes),
+        (0, 2, 2),
+        "cold run must build and persist every trace"
+    );
+    let cold_json = sink::to_json(&sink::grid_report(
+        "determinism",
+        "d",
+        &grid().run_on(&cold),
+    ));
+
+    let warm = lab_with_store();
+    let warm_traces: Vec<_> = (0..warm.len())
+        .map(|i| warm.miss_traces(i).to_vec())
+        .collect();
+    let warm_stats = warm.store().unwrap().stats();
+    assert_eq!(
+        (warm_stats.hits, warm_stats.misses, warm_stats.writes),
+        (2, 0, 0),
+        "warm run must hit the store for every trace, never re-simulate"
+    );
+    assert_eq!(cold_traces, warm_traces, "store round-trip changed a trace");
+    let warm_json = sink::to_json(&sink::grid_report(
+        "determinism",
+        "d",
+        &grid().run_on(&warm),
+    ));
+    assert_eq!(
+        cold_json, warm_json,
+        "cold and warm structured reports must be byte-identical"
+    );
+
+    // A storeless lab agrees with both.
+    let plain = Lab::build(specs(), exp());
+    let plain_traces: Vec<_> = (0..plain.len())
+        .map(|i| plain.miss_traces(i).to_vec())
+        .collect();
+    assert_eq!(plain_traces, warm_traces);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

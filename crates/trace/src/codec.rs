@@ -11,6 +11,15 @@
 //!
 //! All integers use LEB128 variable-length encoding with zig-zag for signed
 //! deltas. The codec round-trips exactly and fails loudly on corrupt input.
+//!
+//! A second section of the format family — the *miss-trace* codec
+//! ([`write_symbol_sections`] / [`read_symbol_sections`]) — carries the
+//! per-core `u64` symbol sequences the on-disk trace store
+//! ([`crate::store`]) persists: a `TIFM` header with its own version, the
+//! owning [`crate::store::TraceKey`] fingerprint, a length-prefixed
+//! delta-varint body, and a trailing FNV-1a checksum, so truncated,
+//! bit-flipped, or mismatched entries surface a [`CodecError`] instead of
+//! a wrong trace.
 
 use std::io::{self, Read, Write};
 
@@ -34,6 +43,14 @@ pub enum CodecError {
     /// A varint ran past its maximum length or the stream ended inside a
     /// record.
     Corrupt(&'static str),
+    /// A miss-trace entry carries a different key fingerprint than the one
+    /// requested (hash-collision or misplaced file).
+    KeyMismatch {
+        /// The fingerprint the caller asked for.
+        expected: u128,
+        /// The fingerprint stored in the entry header.
+        found: u128,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -43,6 +60,10 @@ impl std::fmt::Display for CodecError {
             CodecError::BadMagic(m) => write!(f, "bad magic {m:?}, expected \"TIFS\""),
             CodecError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
             CodecError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+            CodecError::KeyMismatch { expected, found } => write!(
+                f,
+                "trace entry key mismatch: expected {expected:032x}, found {found:032x}"
+            ),
         }
     }
 }
@@ -239,6 +260,139 @@ pub fn read_trace<R: Read>(r: &mut R) -> Result<Vec<FetchRecord>, CodecError> {
     Ok(out)
 }
 
+// ---------------------------------------------------------------------------
+// Miss-trace sections — the on-disk trace store's entry format.
+// ---------------------------------------------------------------------------
+//
+// Layout:
+//   4 B  MISS_MAGIC "TIFM"
+//   4 B  MISS_TRACE_VERSION (u32 LE)
+//  16 B  owning TraceKey fingerprint (u128 LE)
+//   8 B  body length in bytes (u64 LE)
+//   .. B body: varint section count, then per section a varint length and
+//        zig-zag varint deltas between consecutive symbols
+//   8 B  FNV-1a 64 checksum of the body (u64 LE)
+//
+// The explicit body length makes truncation detectable before parsing, and
+// the checksum catches bit flips that would still parse (e.g. a flipped
+// symbol-delta bit). Every failure path is a `CodecError`; the codec never
+// returns a trace that differs from what was written.
+
+/// Magic bytes identifying a TIFS miss-trace store entry.
+pub const MISS_MAGIC: [u8; 4] = *b"TIFM";
+/// Current miss-trace entry format version.
+pub const MISS_TRACE_VERSION: u32 = 1;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Writes per-core `u64` symbol sections as one store entry owned by the
+/// key fingerprint `key`.
+pub fn write_symbol_sections<W: Write>(
+    w: &mut W,
+    key: u128,
+    sections: &[Vec<u64>],
+) -> Result<(), CodecError> {
+    let mut body = Vec::new();
+    write_varint(&mut body, sections.len() as u64)?;
+    for section in sections {
+        write_varint(&mut body, section.len() as u64)?;
+        let mut prev: u64 = 0;
+        for &v in section {
+            // Wrapping difference round-trips the full u64 range.
+            write_varint(&mut body, zigzag(v.wrapping_sub(prev) as i64))?;
+            prev = v;
+        }
+    }
+    w.write_all(&MISS_MAGIC)?;
+    w.write_all(&MISS_TRACE_VERSION.to_le_bytes())?;
+    w.write_all(&key.to_le_bytes())?;
+    w.write_all(&(body.len() as u64).to_le_bytes())?;
+    w.write_all(&body)?;
+    w.write_all(&fnv1a64(&body).to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads a store entry written by [`write_symbol_sections`], verifying the
+/// magic, version, checksum, and (when given) the owning key fingerprint.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on any malformed input: wrong magic or version,
+/// truncation anywhere, a checksum mismatch, trailing garbage, or an entry
+/// owned by a different key. A wrong trace is never returned.
+pub fn read_symbol_sections<R: Read>(
+    r: &mut R,
+    expected_key: Option<u128>,
+) -> Result<Vec<Vec<u64>>, CodecError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MISS_MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let mut v4 = [0u8; 4];
+    r.read_exact(&mut v4)
+        .map_err(|_| CodecError::Corrupt("truncated version"))?;
+    let version = u32::from_le_bytes(v4);
+    if version != MISS_TRACE_VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let mut k16 = [0u8; 16];
+    r.read_exact(&mut k16)
+        .map_err(|_| CodecError::Corrupt("truncated key"))?;
+    let found = u128::from_le_bytes(k16);
+    if let Some(expected) = expected_key {
+        if expected != found {
+            return Err(CodecError::KeyMismatch { expected, found });
+        }
+    }
+    let mut l8 = [0u8; 8];
+    r.read_exact(&mut l8)
+        .map_err(|_| CodecError::Corrupt("truncated body length"))?;
+    let body_len = u64::from_le_bytes(l8);
+    // `take` bounds the read so a corrupt length cannot trigger an
+    // unbounded allocation; a short read is caught by the length check.
+    let mut body = Vec::new();
+    r.take(body_len)
+        .read_to_end(&mut body)
+        .map_err(CodecError::Io)?;
+    if body.len() as u64 != body_len {
+        return Err(CodecError::Corrupt("truncated body"));
+    }
+    let mut c8 = [0u8; 8];
+    r.read_exact(&mut c8)
+        .map_err(|_| CodecError::Corrupt("truncated checksum"))?;
+    if fnv1a64(&body) != u64::from_le_bytes(c8) {
+        return Err(CodecError::Corrupt("checksum mismatch"));
+    }
+
+    let mut br = body.as_slice();
+    let n_sections = read_varint(&mut br)? as usize;
+    let mut out = Vec::with_capacity(n_sections.min(1 << 10));
+    for _ in 0..n_sections {
+        let n = read_varint(&mut br)? as usize;
+        let mut section = Vec::with_capacity(n.min(1 << 24));
+        let mut prev: u64 = 0;
+        for _ in 0..n {
+            let delta = unzigzag(read_varint(&mut br)?) as u64;
+            let v = prev.wrapping_add(delta);
+            section.push(v);
+            prev = v;
+        }
+        out.push(section);
+    }
+    if !br.is_empty() {
+        return Err(CodecError::Corrupt("trailing bytes in body"));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,6 +488,80 @@ mod tests {
     fn zigzag_roundtrip() {
         for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
             assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    fn sample_sections() -> Vec<Vec<u64>> {
+        vec![
+            vec![10, 11, 12, 400, 401, 3],
+            vec![],
+            vec![u64::MAX, 0, 7, u64::MAX / 2],
+        ]
+    }
+
+    #[test]
+    fn symbol_sections_roundtrip() {
+        let sections = sample_sections();
+        let mut buf = Vec::new();
+        write_symbol_sections(&mut buf, 0xABCD, &sections).unwrap();
+        let back = read_symbol_sections(&mut buf.as_slice(), Some(0xABCD)).unwrap();
+        assert_eq!(back, sections);
+        // Key verification is optional.
+        let back = read_symbol_sections(&mut buf.as_slice(), None).unwrap();
+        assert_eq!(back, sections);
+    }
+
+    #[test]
+    fn symbol_sections_reject_wrong_key() {
+        let mut buf = Vec::new();
+        write_symbol_sections(&mut buf, 1, &sample_sections()).unwrap();
+        match read_symbol_sections(&mut buf.as_slice(), Some(2)) {
+            Err(CodecError::KeyMismatch { expected, found }) => {
+                assert_eq!((expected, found), (2, 1));
+            }
+            other => panic!("expected KeyMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn symbol_sections_reject_checksum_flip() {
+        let mut buf = Vec::new();
+        write_symbol_sections(&mut buf, 1, &sample_sections()).unwrap();
+        // Flip one bit inside the body (after the 32-byte header).
+        buf[33] ^= 0x40;
+        match read_symbol_sections(&mut buf.as_slice(), Some(1)) {
+            Err(CodecError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn symbol_sections_reject_bad_magic_and_version() {
+        let mut buf = Vec::new();
+        write_symbol_sections(&mut buf, 1, &sample_sections()).unwrap();
+        let mut m = buf.clone();
+        m[0] = b'X';
+        assert!(matches!(
+            read_symbol_sections(&mut m.as_slice(), Some(1)),
+            Err(CodecError::BadMagic(_))
+        ));
+        let mut v = buf.clone();
+        v[4] = 0xEE;
+        assert!(matches!(
+            read_symbol_sections(&mut v.as_slice(), Some(1)),
+            Err(CodecError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn symbol_sections_reject_truncation_and_trailing() {
+        let mut buf = Vec::new();
+        write_symbol_sections(&mut buf, 1, &sample_sections()).unwrap();
+        for cut in [buf.len() - 1, buf.len() - 9, 20, 5, 0] {
+            assert!(
+                read_symbol_sections(&mut buf[..cut].as_ref(), Some(1)).is_err(),
+                "prefix of {cut} bytes must not parse"
+            );
         }
     }
 

@@ -16,7 +16,9 @@
 //!   (OLTP on DB2/Oracle, DSS queries 2/17, Apache/Zeus web serving);
 //! * [`filter`] — block-sequence extraction and the sequential-collapse
 //!   transform of paper Figure 5;
-//! * [`codec`] — a compact varint binary trace format with a strict parser.
+//! * [`codec`] — a compact varint binary trace format with a strict parser;
+//! * [`store`] — a content-addressed on-disk store persisting derived
+//!   traces (keyed by workload fingerprint) across runs.
 //!
 //! # Quickstart
 //!
@@ -36,9 +38,11 @@ pub mod exec;
 pub mod filter;
 pub mod program;
 pub mod record;
+pub mod store;
 pub mod types;
 pub mod workload;
 
 pub use record::{BranchInfo, BranchKind, FetchRecord, MemClass};
+pub use store::{StoreStats, TraceKey, TraceStore};
 pub use types::{Addr, BlockAddr, CoreId, Cycle, BLOCK_BYTES, INSTRS_PER_BLOCK, INSTR_BYTES};
 pub use workload::{Workload, WorkloadClass, WorkloadSpec};

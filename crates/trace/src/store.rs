@@ -1,0 +1,397 @@
+//! Content-addressed on-disk store for cached miss traces.
+//!
+//! Building a workload's per-core L1-I miss traces costs a full pass of
+//! the functional fetch model over millions of instructions, and the
+//! paper's trace analyses (Figures 3, 5, 6, 10, 11) all start from those
+//! traces. The store makes that pass a once-per-machine cost instead of a
+//! once-per-process cost:
+//!
+//! * every entry is keyed by a [`TraceKey`] — a stable 128-bit FNV-1a
+//!   fingerprint of the generating [`WorkloadSpec`], the seed, the
+//!   instruction budget, the core count, and the entry format version, so
+//!   any input change addresses different content;
+//! * entries are written through the miss-trace codec section
+//!   ([`crate::codec::write_symbol_sections`]) to a temporary file and
+//!   atomically renamed into place, so a crashed writer never leaves a
+//!   partially written entry under a live name;
+//! * reads stream entries back through a buffered reader and verify
+//!   magic, version, key, and checksum; corrupt or mismatched entries are
+//!   evicted loudly (a warning on stderr, the file deleted) and the
+//!   caller rebuilds from scratch.
+//!
+//! The store is controlled by the `TIFS_TRACE_STORE` environment
+//! variable: unset uses [`DEFAULT_STORE_DIR`], a path selects that
+//! directory, and `off` / `0` / `none` disables persistence entirely for
+//! hermetic runs.
+
+use std::fs;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::codec::{self, CodecError};
+use crate::types::BlockAddr;
+use crate::workload::{WorkloadClass, WorkloadSpec};
+
+/// Environment variable selecting the store directory (`off` / `0` /
+/// `none` disables the store).
+pub const STORE_ENV: &str = "TIFS_TRACE_STORE";
+
+/// Default store directory, relative to the working directory.
+pub const DEFAULT_STORE_DIR: &str = ".tifs-cache/traces";
+
+/// 128-bit FNV-1a over a canonical byte serialization.
+struct Fnv128(u128);
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+    fn new() -> Fnv128 {
+        Fnv128(Self::OFFSET)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u128::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// Stable content address of one store entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceKey(pub u128);
+
+impl TraceKey {
+    /// Fingerprints a derived-trace section: `section` names what was
+    /// derived *and every parameter of the derivation that is not part
+    /// of the spec* (callers embed e.g. the functional-model cache
+    /// geometry and a derivation version in the string — see
+    /// `tifs_experiments::engine`), while the remaining arguments pin
+    /// the workload inputs. Any change to any of them produces a
+    /// different key, so stale entries are never read — they are simply
+    /// never addressed again.
+    pub fn for_section(
+        section: &str,
+        spec: &WorkloadSpec,
+        seed: u64,
+        instructions: u64,
+        cores: usize,
+    ) -> TraceKey {
+        // Exhaustive destructuring: adding a `WorkloadSpec` field without
+        // hashing it here is a compile error, never a stale cache hit.
+        let WorkloadSpec {
+            name,
+            class,
+            seed_salt,
+            n_txn_types,
+            path_len,
+            func_instrs,
+            shared_frac,
+            shared_pool,
+            divergence_every,
+            n_variants,
+            hammock_period,
+            data_dep_frac,
+            inner_loop_prob,
+            avg_loop_iters,
+            scan_loops,
+            scan_iters,
+            cold_pool,
+            cold_prob,
+            trap_period,
+            n_trap_handlers,
+            data:
+                crate::exec::DataProfile {
+                    l1d_miss_rate,
+                    l2_hit_frac,
+                },
+        } = spec;
+        let mut h = Fnv128::new();
+        h.u64(u64::from(codec::MISS_TRACE_VERSION));
+        h.str(section);
+        h.str(name);
+        h.u64(match class {
+            WorkloadClass::Oltp => 0,
+            WorkloadClass::Dss => 1,
+            WorkloadClass::Web => 2,
+        });
+        h.u64(*seed_salt);
+        h.u64(*n_txn_types as u64);
+        h.u64(*path_len as u64);
+        h.u64(u64::from(func_instrs.0));
+        h.u64(u64::from(func_instrs.1));
+        h.f64(*shared_frac);
+        h.u64(*shared_pool as u64);
+        h.u64(*divergence_every as u64);
+        h.u64(*n_variants as u64);
+        h.u64(u64::from(*hammock_period));
+        h.f64(*data_dep_frac);
+        h.f64(*inner_loop_prob);
+        h.f64(*avg_loop_iters);
+        h.u64(u64::from(*scan_loops));
+        h.f64(*scan_iters);
+        h.u64(*cold_pool as u64);
+        h.f64(*cold_prob);
+        h.u64(*trap_period);
+        h.u64(*n_trap_handlers as u64);
+        h.f64(*l1d_miss_rate);
+        h.f64(*l2_hit_frac);
+        h.u64(seed);
+        h.u64(instructions);
+        h.u64(cores as u64);
+        TraceKey(h.0)
+    }
+
+    /// Store file name of this key.
+    pub fn file_name(&self) -> String {
+        format!("{:032x}.tifm", self.0)
+    }
+}
+
+/// Counters of one store's activity (monotonic over its lifetime).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Entries served from disk.
+    pub hits: u64,
+    /// Lookups that found no entry (including just-evicted ones).
+    pub misses: u64,
+    /// Entries written.
+    pub writes: u64,
+    /// Corrupt or mismatched entries deleted.
+    pub evictions: u64,
+}
+
+/// A directory of content-addressed trace entries.
+///
+/// All operations are `&self` and thread-safe: the store is shared by
+/// the engine's parallel analysis workers.
+#[derive(Debug)]
+pub struct TraceStore {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    evictions: AtomicU64,
+    tmp_seq: AtomicU64,
+}
+
+impl TraceStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<TraceStore> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(TraceStore {
+            root,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens the store selected by [`STORE_ENV`]: `None` when the
+    /// variable disables it (`off` / `0` / `none` / empty) or when the
+    /// directory cannot be created (warned on stderr); otherwise the
+    /// named directory, defaulting to [`DEFAULT_STORE_DIR`].
+    pub fn from_env() -> Option<TraceStore> {
+        let dir = match std::env::var(STORE_ENV) {
+            Ok(v) if matches!(v.as_str(), "off" | "0" | "none" | "") => return None,
+            Ok(v) => PathBuf::from(v),
+            Err(_) => PathBuf::from(DEFAULT_STORE_DIR),
+        };
+        match TraceStore::new(&dir) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!(
+                    "[trace-store] cannot open {}: {e}; persistence disabled",
+                    dir.display()
+                );
+                None
+            }
+        }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// On-disk path of `key`'s entry.
+    pub fn entry_path(&self, key: &TraceKey) -> PathBuf {
+        self.root.join(key.file_name())
+    }
+
+    /// Activity counters so far.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Loads `key`'s symbol sections, or `None` on a miss. A corrupt,
+    /// truncated, version-mismatched, or wrong-key entry is evicted
+    /// loudly and reported as a miss so the caller rebuilds it.
+    pub fn load(&self, key: &TraceKey) -> Option<Vec<Vec<u64>>> {
+        let path = self.entry_path(key);
+        let file = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match codec::read_symbol_sections(&mut BufReader::new(file), Some(key.0)) {
+            Ok(sections) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(sections)
+            }
+            Err(e) => {
+                eprintln!(
+                    "[trace-store] evicting corrupt entry {}: {e}",
+                    path.display()
+                );
+                let _ = fs::remove_file(&path);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// As [`load`](Self::load), converting sections to [`BlockAddr`]s.
+    pub fn load_blocks(&self, key: &TraceKey) -> Option<Vec<Vec<BlockAddr>>> {
+        self.load(key).map(|sections| {
+            sections
+                .into_iter()
+                .map(|s| s.into_iter().map(BlockAddr).collect())
+                .collect()
+        })
+    }
+
+    /// Writes `key`'s entry atomically (temp file + rename): readers see
+    /// either no entry or a complete one, never a partial write.
+    pub fn save(&self, key: &TraceKey, sections: &[Vec<u64>]) -> Result<PathBuf, CodecError> {
+        let path = self.entry_path(key);
+        let tmp = self.root.join(format!(
+            ".tmp-{}-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed),
+            key.file_name()
+        ));
+        let result = (|| -> Result<(), CodecError> {
+            let mut w = BufWriter::new(fs::File::create(&tmp)?);
+            codec::write_symbol_sections(&mut w, key.0, sections)?;
+            w.flush()?;
+            Ok(())
+        })();
+        if let Err(e) = result {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        fs::rename(&tmp, &path).map_err(CodecError::Io)?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(path)
+    }
+
+    /// As [`save`](Self::save), for [`BlockAddr`] traces.
+    pub fn save_blocks(
+        &self,
+        key: &TraceKey,
+        traces: &[Vec<BlockAddr>],
+    ) -> Result<PathBuf, CodecError> {
+        let sections: Vec<Vec<u64>> = traces
+            .iter()
+            .map(|t| t.iter().map(|b| b.0).collect())
+            .collect();
+        self.save(key, &sections)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> TraceStore {
+        let dir =
+            std::env::temp_dir().join(format!("tifs-store-unit-{}-{}", std::process::id(), tag));
+        let _ = fs::remove_dir_all(&dir);
+        TraceStore::new(dir).expect("create store")
+    }
+
+    #[test]
+    fn key_is_stable_and_input_sensitive() {
+        let spec = WorkloadSpec::tiny_test();
+        let k = TraceKey::for_section("miss_trace", &spec, 1, 1000, 4);
+        assert_eq!(k, TraceKey::for_section("miss_trace", &spec, 1, 1000, 4));
+        assert_ne!(k, TraceKey::for_section("miss_trace", &spec, 2, 1000, 4));
+        assert_ne!(k, TraceKey::for_section("miss_trace", &spec, 1, 2000, 4));
+        assert_ne!(k, TraceKey::for_section("miss_trace", &spec, 1, 1000, 2));
+        assert_ne!(k, TraceKey::for_section("other", &spec, 1, 1000, 4));
+        let mut tweaked = WorkloadSpec::tiny_test();
+        tweaked.shared_frac += 0.001;
+        assert_ne!(k, TraceKey::for_section("miss_trace", &tweaked, 1, 1000, 4));
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_stats() {
+        let store = temp_store("roundtrip");
+        let key = TraceKey(42);
+        let sections = vec![vec![1u64, 5, 9], vec![7]];
+        assert_eq!(store.load(&key), None);
+        store.save(&key, &sections).unwrap();
+        assert_eq!(store.load(&key), Some(sections));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.writes, s.evictions), (1, 1, 1, 0));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn corrupt_entry_is_evicted_and_rebuilt() {
+        let store = temp_store("evict");
+        let key = TraceKey(7);
+        let sections = vec![vec![3u64, 1, 4, 1, 5]];
+        store.save(&key, &sections).unwrap();
+        // Flip a byte on disk.
+        let path = store.entry_path(&key);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() - 10;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, bytes).unwrap();
+        assert_eq!(store.load(&key), None, "corrupt entry must not load");
+        assert!(!path.exists(), "corrupt entry must be evicted");
+        assert_eq!(store.stats().evictions, 1);
+        // A rebuild repopulates the entry.
+        store.save(&key, &sections).unwrap();
+        assert_eq!(store.load(&key), Some(sections));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn blocks_roundtrip() {
+        let store = temp_store("blocks");
+        let key = TraceKey(9);
+        let traces = vec![vec![BlockAddr(10), BlockAddr(11)], vec![BlockAddr(99)]];
+        store.save_blocks(&key, &traces).unwrap();
+        assert_eq!(store.load_blocks(&key), Some(traces));
+        let _ = fs::remove_dir_all(store.root());
+    }
+}
