@@ -16,7 +16,7 @@
 //! ```
 
 use tifs_core::TifsConfig;
-use tifs_experiments::engine::{ExperimentGrid, SystemSpec};
+use tifs_experiments::engine::{ExperimentGrid, Lab, SystemSpec};
 use tifs_experiments::harness::{ExpConfig, SystemKind};
 use tifs_experiments::report::render_table;
 use tifs_experiments::sink::{self, Cell, StructuredReport};
@@ -76,10 +76,10 @@ fn main() {
         },
     ));
 
-    let results = ExperimentGrid::new(cfg)
-        .workloads([WorkloadSpec::oltp_db2()])
-        .systems(systems)
-        .run();
+    // Run through a store-attached lab so repeat ablation sweeps are
+    // report-store warm starts (`TIFS_REPORT_STORE`).
+    let lab = Lab::build(vec![WorkloadSpec::oltp_db2()], cfg).with_store_from_env();
+    let results = ExperimentGrid::new(cfg).systems(systems).run_on(&lab);
     let row = results.row(0);
     let base_ipc = row.ipc(SystemKind::NextLine);
 

@@ -6,11 +6,16 @@
 //! across threads (`TIFS_THREADS` overrides the worker count).
 //!
 //! The lab attaches the persistent trace store (`TIFS_TRACE_STORE`,
-//! default `.tifs-cache/traces`), so a second run is a *warm start*: the
-//! trace analyses stream their miss traces back from disk instead of
-//! re-running the functional model. Every figure and table also writes a
-//! canonical JSON/CSV report (`TIFS_RESULTS`, default `results/`);
-//! reports are byte-identical between cold and warm runs.
+//! default `.tifs-cache/traces`) *and* report store
+//! (`TIFS_REPORT_STORE`, default `.tifs-cache/reports`), so a second run
+//! is a pure *warm start*: the trace analyses stream their miss traces
+//! back from disk instead of re-running the functional model, and every
+//! timing cell's `SimReport` is served from the report store instead of
+//! re-simulating (0 timing recomputes). Every figure and table also
+//! writes a canonical JSON/CSV report (`TIFS_RESULTS`, default
+//! `results/`); reports are byte-identical between cold and warm runs.
+//! `TIFS_SHARD_CORES=1` switches timing cells to intra-cell core
+//! sharding (independent single-core runs, deterministically merged).
 
 use tifs_experiments::engine::Lab;
 use tifs_experiments::figures::{fig01, fig03, fig05, fig06, fig10, fig11, fig12, fig13, tables};
@@ -64,6 +69,17 @@ fn main() {
         let s = store.stats();
         println!(
             "[trace store] {} hits, {} misses, {} writes, {} evictions ({})",
+            s.hits,
+            s.misses,
+            s.writes,
+            s.evictions,
+            store.root().display()
+        );
+    }
+    if let Some(store) = lab.report_store() {
+        let s = store.stats();
+        println!(
+            "[report store] {} hits, {} misses, {} writes, {} evictions ({})",
             s.hits,
             s.misses,
             s.writes,

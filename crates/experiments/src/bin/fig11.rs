@@ -1,7 +1,8 @@
 //! Regenerates the paper's Figure 11 data. Flags: --instructions N --warmup N --seed N.
 //!
-//! Uses the persistent trace store (`TIFS_TRACE_STORE`) and writes a
-//! structured JSON/CSV report (`TIFS_RESULTS`, default `results/`).
+//! Uses the persistent trace store (`TIFS_TRACE_STORE`) and report store
+//! (`TIFS_REPORT_STORE`) for warm starts, and writes a structured
+//! JSON/CSV report (`TIFS_RESULTS`, default `results/`).
 
 use tifs_experiments::engine::Lab;
 use tifs_experiments::figures::fig11;

@@ -16,12 +16,27 @@
 //!   one functional-model pass ([`Lab::miss_traces`]), and — with a
 //!   persistent [`TraceStore`] attached ([`Lab::with_store`]) — writes
 //!   them through to disk so later processes warm-start without
-//!   re-running the functional model at all.
+//!   re-running the functional model at all;
+//! * caches whole timing runs: with a persistent [`ReportStore`] attached
+//!   ([`Lab::with_report_store`], `TIFS_REPORT_STORE`), every cell's
+//!   [`SimReport`] is keyed by a [`report_key`] fingerprint of the *full*
+//!   cell configuration and persisted through the canonical report codec,
+//!   so a repeat grid run recomputes nothing;
+//! * optionally shards a cell's cores across threads
+//!   ([`ExperimentGrid::sharded`], `TIFS_SHARD_CORES`): each core runs an
+//!   independent single-core simulation ([`run_core_shard`]) and the
+//!   per-core reports merge deterministically
+//!   ([`SimReport::merge_shards`]) into one cell report, byte-identical
+//!   at every shard/thread count. Sharded cells model private L2 slices
+//!   (no cross-core contention), so sharding is a distinct execution mode
+//!   with its own report-store address space, never a silent substitute
+//!   for the coupled CMP.
 //!
 //! Cells are deterministic: a grid produces bit-identical [`SimReport`]s
-//! whether run serially or in parallel, because every cell derives its
-//! state only from (spec, seed, system) — verified by the
-//! `engine_determinism` integration test.
+//! whether run serially or in parallel, cold or warm, sharded at any
+//! worker count, because every cell derives its state only from
+//! (spec, seed, system, mode) — verified by the `engine_determinism`
+//! integration test.
 //!
 //! ```
 //! use tifs_experiments::engine::ExperimentGrid;
@@ -41,19 +56,35 @@
 
 use std::sync::OnceLock;
 
-use tifs_core::{TifsConfig, TifsPrefetcher};
+use tifs_core::{ImlStorage, IndexKind, TifsConfig, TifsPrefetcher};
 use tifs_prefetch::{
     DiscontinuityConfig, DiscontinuityPrefetcher, Fdip, FdipConfig, ProbabilisticPrefetcher,
 };
 use tifs_sim::cmp::Cmp;
 use tifs_sim::config::SystemConfig;
 use tifs_sim::prefetch::{IPrefetcher, NullPrefetcher};
-use tifs_sim::stats::SimReport;
-use tifs_trace::store::{TraceKey, TraceStore};
+use tifs_sim::stats::{SimReport, SIM_REPORT_LAYOUT_VERSION};
+use tifs_trace::codec::REPORT_VERSION;
+use tifs_trace::store::{
+    hash_workload_spec, Fingerprint, ReportKey, ReportStore, TraceKey, TraceStore,
+};
 use tifs_trace::workload::{Workload, WorkloadSpec};
 use tifs_trace::{BlockAddr, FetchRecord};
 
 use crate::harness::{ExpConfig, SystemKind};
+
+/// Environment variable enabling intra-cell core sharding for grids that
+/// did not choose explicitly ([`ExperimentGrid::sharded`] wins). Truthy
+/// values: `1` / `on` / `true` / `yes`.
+pub const SHARD_ENV: &str = "TIFS_SHARD_CORES";
+
+/// Whether [`SHARD_ENV`] enables sharding for this process.
+pub fn shard_cores_from_env() -> bool {
+    matches!(
+        std::env::var(SHARD_ENV).as_deref(),
+        Ok("1" | "on" | "true" | "yes")
+    )
+}
 
 /// Cores the cached analysis miss traces are collected for (the paper's
 /// trace studies use the 4-core CMP).
@@ -241,6 +272,216 @@ pub fn run_cell(
     cmp.run_with_warmup(exp.warmup, exp.instructions)
 }
 
+// ---------------------------------------------------------------------------
+// Report-store keys — content addresses over the full cell configuration.
+// ---------------------------------------------------------------------------
+
+/// Content address of one cell's [`SimReport`] in the persistent
+/// [`ReportStore`]: a [`Fingerprint`] over *every* input the timing run
+/// depends on — both format versions (container and payload layout), the
+/// full [`WorkloadSpec`], the seed the workload was *built* with
+/// (`workload_seed` — a [`Lab`] may be built under a different
+/// [`ExpConfig`] than the grid runs with), the grid's seed and measured
+/// and warmup instruction budgets, every [`SystemConfig`] field, the
+/// system/prefetcher configuration, and the execution mode (coupled vs.
+/// core-sharded). Any change to any of them addresses different content,
+/// so a stale report is never read — it is simply never addressed again.
+pub fn report_key(
+    spec: &WorkloadSpec,
+    workload_seed: u64,
+    system: &SystemSpec,
+    exp: &ExpConfig,
+    sys: &SystemConfig,
+    sharded: bool,
+) -> ReportKey {
+    let mut h = Fingerprint::new();
+    h.u64(u64::from(REPORT_VERSION));
+    h.u64(u64::from(SIM_REPORT_LAYOUT_VERSION));
+    hash_workload_spec(&mut h, spec);
+    h.u64(workload_seed);
+    h.u64(exp.seed);
+    h.u64(exp.instructions);
+    h.u64(exp.warmup);
+    hash_system_config(&mut h, sys);
+    hash_system_spec(&mut h, system);
+    h.bool(sharded);
+    ReportKey(h.finish())
+}
+
+/// Feeds every [`SystemConfig`] field (exhaustive destructuring: a new
+/// field without a hash line is a compile error, never a stale hit).
+fn hash_system_config(h: &mut Fingerprint, sys: &SystemConfig) {
+    let SystemConfig {
+        num_cores,
+        width,
+        rob_entries,
+        fetch_queue,
+        l1i_bytes,
+        l1i_ways,
+        next_line_depth,
+        l1d_latency,
+        l2_bytes,
+        l2_ways,
+        l2_banks,
+        l2_latency,
+        l2_bank_occupancy,
+        l2_mshrs,
+        mem_latency,
+        mem_gap,
+        mispredict_penalty,
+        store_writeback_prob,
+    } = sys;
+    h.u64(*num_cores as u64);
+    h.u64(*width as u64);
+    h.u64(*rob_entries as u64);
+    h.u64(*fetch_queue as u64);
+    h.u64(*l1i_bytes as u64);
+    h.u64(*l1i_ways as u64);
+    h.u64(*next_line_depth);
+    h.u64(*l1d_latency);
+    h.u64(*l2_bytes as u64);
+    h.u64(*l2_ways as u64);
+    h.u64(*l2_banks as u64);
+    h.u64(*l2_latency);
+    h.u64(*l2_bank_occupancy);
+    h.u64(*l2_mshrs as u64);
+    h.u64(*mem_latency);
+    h.u64(*mem_gap);
+    h.u64(*mispredict_penalty);
+    h.f64(*store_writeback_prob);
+}
+
+/// Feeds the system under test: a tagged discriminant per named kind, or
+/// the full TIFS configuration for ablation cells. Labels are display
+/// metadata and deliberately not hashed — two labels over one
+/// configuration are the same content.
+fn hash_system_spec(h: &mut Fingerprint, system: &SystemSpec) {
+    match system {
+        SystemSpec::Kind(kind) => {
+            h.u64(0);
+            match kind {
+                SystemKind::NextLine => h.u64(0),
+                SystemKind::Fdip => h.u64(1),
+                SystemKind::Discontinuity => h.u64(2),
+                SystemKind::TifsUnbounded => h.u64(3),
+                SystemKind::TifsDedicated => h.u64(4),
+                SystemKind::TifsVirtualized => h.u64(5),
+                SystemKind::Probabilistic(p) => {
+                    h.u64(6);
+                    h.f64(*p);
+                }
+                SystemKind::Perfect => h.u64(7),
+            }
+        }
+        SystemSpec::Tifs { label: _, config } => {
+            h.u64(1);
+            hash_tifs_config(h, config);
+        }
+    }
+}
+
+/// Feeds every [`TifsConfig`] field (exhaustive destructuring).
+fn hash_tifs_config(h: &mut Fingerprint, cfg: &TifsConfig) {
+    let TifsConfig {
+        storage,
+        index,
+        svb_blocks,
+        stream_contexts,
+        rate_target,
+        end_of_stream,
+    } = cfg;
+    match storage {
+        ImlStorage::Unbounded => h.u64(0),
+        ImlStorage::Dedicated { entries_per_core } => {
+            h.u64(1);
+            h.u64(*entries_per_core as u64);
+        }
+        ImlStorage::Virtualized { entries_per_core } => {
+            h.u64(2);
+            h.u64(*entries_per_core as u64);
+        }
+    }
+    h.u64(match index {
+        IndexKind::Dedicated => 0,
+        IndexKind::Embedded => 1,
+    });
+    h.u64(*svb_blocks as u64);
+    h.u64(*stream_contexts as u64);
+    h.u64(*rate_target as u64);
+    h.bool(*end_of_stream);
+}
+
+/// Loads and decodes one cached cell report. The frame (magic, version,
+/// key, checksum) is verified by the store; a payload that then fails the
+/// canonical decode — possible only through a logic bug, since the layout
+/// version is part of the key — is evicted loudly so the cell recomputes
+/// instead of looping on a bad entry.
+fn load_cached_report(store: &ReportStore, key: &ReportKey) -> Option<SimReport> {
+    let bytes = store.load(key)?;
+    match SimReport::from_canonical_bytes(&bytes) {
+        Ok(report) => Some(report),
+        Err(e) => {
+            store.evict(key, &e);
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Intra-cell sharding — one core per work unit, deterministic merge.
+// ---------------------------------------------------------------------------
+
+/// Prefetcher seed for one core's shard: decorrelates per-shard RNG
+/// (the probabilistic baselines) across cores while staying a pure
+/// function of (seed, core).
+fn shard_seed(seed: u64, core: usize) -> u64 {
+    seed ^ (core as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs one core of a cell as an independent single-core simulation: the
+/// core's own fetch stream on a 1-core copy of `sys` (same cache
+/// geometry and latencies, private L2 slice and prefetcher instance).
+/// This is the work unit of intra-cell sharding; it depends only on
+/// (spec, seed, system, core), so any schedule of shards reproduces the
+/// same per-core report.
+pub fn run_core_shard(
+    workload: &Workload,
+    system: &SystemSpec,
+    exp: &ExpConfig,
+    sys: &SystemConfig,
+    core: usize,
+) -> SimReport {
+    let shard_sys = SystemConfig {
+        num_cores: 1,
+        ..sys.clone()
+    };
+    let stream = Box::new(workload.walker(core)) as Box<dyn Iterator<Item = FetchRecord>>;
+    let pf = build_prefetcher(system, workload, &shard_sys, shard_seed(exp.seed, core));
+    let mut cmp = Cmp::new(shard_sys, vec![stream], pf);
+    cmp.run_with_warmup(exp.warmup, exp.instructions)
+}
+
+/// Runs one cell in sharded mode: every core of `sys` becomes one
+/// [`run_core_shard`] unit, the units fan out over `threads` workers
+/// ([`par::map`], order-preserving), and the per-core reports merge
+/// deterministically ([`SimReport::merge_shards`]). The result is
+/// byte-identical at every `threads` value — `threads == 1` *is* the
+/// sequential path, same units, same merge — which the
+/// `engine_determinism` suite pins across 1/2/8 shards.
+pub fn run_cell_sharded(
+    workload: &Workload,
+    system: &SystemSpec,
+    exp: &ExpConfig,
+    sys: &SystemConfig,
+    threads: usize,
+) -> SimReport {
+    let cores: Vec<usize> = (0..sys.num_cores).collect();
+    let parts = par::map(&cores, threads, |_, &core| {
+        run_core_shard(workload, system, exp, sys, core)
+    });
+    SimReport::merge_shards(&parts)
+}
+
 /// A set of workloads built once and shared by every figure that runs on
 /// them: the substrate under both timing grids ([`ExperimentGrid::run_on`])
 /// and trace analyses ([`Lab::analyze`]).
@@ -250,6 +491,7 @@ pub struct Lab {
     workloads: Vec<Workload>,
     traces: Vec<OnceLock<Vec<Vec<BlockAddr>>>>,
     store: Option<TraceStore>,
+    report_store: Option<ReportStore>,
 }
 
 impl Lab {
@@ -270,6 +512,7 @@ impl Lab {
             workloads,
             traces,
             store: None,
+            report_store: None,
         }
     }
 
@@ -287,17 +530,36 @@ impl Lab {
         self
     }
 
-    /// Attaches the store selected by `TIFS_TRACE_STORE` (default
-    /// directory when unset, disabled by `off`/`0`/`none`). Binaries call
-    /// this; library users and tests stay hermetic unless they opt in.
+    /// Attaches a persistent [`ReportStore`]: grid cells run through this
+    /// lab ([`ExperimentGrid::run_on`]) read their [`SimReport`]s from it
+    /// when present and write through on first computation. Like the
+    /// trace store, it is a pure cache — entries are keyed by a
+    /// [`report_key`] fingerprint of every input, so attached and
+    /// detached labs produce identical reports.
+    pub fn with_report_store(mut self, store: ReportStore) -> Lab {
+        self.report_store = Some(store);
+        self
+    }
+
+    /// Attaches the stores selected by the environment: the trace store
+    /// (`TIFS_TRACE_STORE`) *and* the report store (`TIFS_REPORT_STORE`),
+    /// each defaulting to its directory when unset and disabled by
+    /// `off`/`0`/`none`. Binaries call this; library users and tests stay
+    /// hermetic unless they opt in.
     pub fn with_store_from_env(mut self) -> Lab {
         self.store = TraceStore::from_env();
+        self.report_store = ReportStore::from_env();
         self
     }
 
     /// The attached trace store, if any.
     pub fn store(&self) -> Option<&TraceStore> {
         self.store.as_ref()
+    }
+
+    /// The attached report store, if any.
+    pub fn report_store(&self) -> Option<&ReportStore> {
+        self.report_store.as_ref()
     }
 
     /// The experiment parameters the lab was built with.
@@ -454,6 +716,7 @@ pub struct ExperimentGrid {
     workloads: Vec<WorkloadSpec>,
     systems: Vec<SystemSpec>,
     threads: Option<usize>,
+    sharded: Option<bool>,
 }
 
 impl ExperimentGrid {
@@ -465,6 +728,7 @@ impl ExperimentGrid {
             workloads: Vec::new(),
             systems: Vec::new(),
             threads: None,
+            sharded: None,
         }
     }
 
@@ -498,8 +762,22 @@ impl ExperimentGrid {
         self
     }
 
+    /// Chooses the execution mode explicitly: `true` shards every cell's
+    /// cores into independent single-core work units
+    /// ([`run_core_shard`]), `false` forces the coupled CMP. Unset grids
+    /// follow [`SHARD_ENV`]. Sharded cells model private L2 slices, so
+    /// the two modes are distinct content in the report store.
+    pub fn sharded(mut self, sharded: bool) -> Self {
+        self.sharded = Some(sharded);
+        self
+    }
+
     fn worker_count(&self) -> usize {
         self.threads.unwrap_or_else(par::parallelism)
+    }
+
+    fn shard_cores(&self) -> bool {
+        self.sharded.unwrap_or_else(shard_cores_from_env)
     }
 
     /// Builds every workload once, then runs all (workload × system)
@@ -514,13 +792,80 @@ impl ExperimentGrid {
     /// (`all_figures` shares one lab across every figure). Workloads
     /// added via [`workloads`](Self::workloads) are ignored in favour of
     /// the lab's.
+    ///
+    /// With a [`ReportStore`] attached to the lab, each cell first
+    /// consults the store under its [`report_key`]; only missing cells
+    /// are simulated (fanned across threads — as whole cells in coupled
+    /// mode, as per-core shards in sharded mode) and written through.
+    /// The store is a pure cache: attached and detached runs produce
+    /// identical results.
     pub fn run_on(&self, lab: &Lab) -> GridResults {
+        let sharded = self.shard_cores();
+        let threads = self.worker_count();
+        let store = lab.report_store();
         let cells: Vec<(usize, usize)> = (0..lab.len())
             .flat_map(|w| (0..self.systems.len()).map(move |s| (w, s)))
             .collect();
-        let reports = par::map(&cells, self.worker_count(), |_, &(w, s)| {
-            run_cell(lab.workload(w), &self.systems[s], &self.exp, &self.sys)
-        });
+        let key_of = |w: usize, s: usize| {
+            report_key(
+                lab.spec(w),
+                lab.exp().seed,
+                &self.systems[s],
+                &self.exp,
+                &self.sys,
+                sharded,
+            )
+        };
+        // Resolve cached cells first (cheap, serial disk reads), then fan
+        // only the missing ones out across workers.
+        let mut reports: Vec<Option<SimReport>> = match store {
+            Some(store) => cells
+                .iter()
+                .map(|&(w, s)| load_cached_report(store, &key_of(w, s)))
+                .collect(),
+            None => cells.iter().map(|_| None).collect(),
+        };
+        let missing: Vec<(usize, usize)> = cells
+            .iter()
+            .zip(&reports)
+            .filter(|(_, cached)| cached.is_none())
+            .map(|(&cell, _)| cell)
+            .collect();
+        let computed: Vec<SimReport> = if sharded {
+            // One work unit per (cell, core): a single wide cell spreads
+            // its cores across every worker.
+            let units: Vec<(usize, usize, usize)> = missing
+                .iter()
+                .flat_map(|&(w, s)| (0..self.sys.num_cores).map(move |c| (w, s, c)))
+                .collect();
+            let parts = par::map(&units, threads, |_, &(w, s, c)| {
+                run_core_shard(lab.workload(w), &self.systems[s], &self.exp, &self.sys, c)
+            });
+            parts
+                .chunks(self.sys.num_cores.max(1))
+                .map(SimReport::merge_shards)
+                .collect()
+        } else {
+            par::map(&missing, threads, |_, &(w, s)| {
+                run_cell(lab.workload(w), &self.systems[s], &self.exp, &self.sys)
+            })
+        };
+        let mut computed_iter = computed.into_iter();
+        for (slot, &(w, s)) in reports.iter_mut().zip(&cells) {
+            if slot.is_none() {
+                let report = computed_iter.next().expect("one report per missing cell");
+                if let Some(store) = store {
+                    if let Err(e) = store.save(&key_of(w, s), &report.to_canonical_bytes()) {
+                        eprintln!(
+                            "[report-store] failed to persist cell ({}, {}): {e}",
+                            lab.spec(w).name,
+                            self.systems[s].name()
+                        );
+                    }
+                }
+                *slot = Some(report);
+            }
+        }
         let mut rows: Vec<GridRow> = (0..lab.len())
             .map(|w| GridRow {
                 workload: lab.spec(w).name.to_string(),
@@ -528,7 +873,7 @@ impl ExperimentGrid {
             })
             .collect();
         for ((w, _), report) in cells.into_iter().zip(reports) {
-            rows[w].reports.push(report);
+            rows[w].reports.push(report.expect("every cell resolved"));
         }
         GridResults {
             systems: self.systems.clone(),
@@ -734,6 +1079,133 @@ mod tests {
         assert_eq!(names.len(), 2);
         assert!(names[0].ends_with("#0"));
         assert!(names[1].ends_with("#1"));
+    }
+
+    #[test]
+    fn report_key_covers_every_input() {
+        let spec = WorkloadSpec::tiny_test();
+        let exp = tiny_exp();
+        let sys = SystemConfig::single_core();
+        let system = SystemSpec::Kind(SystemKind::TifsVirtualized);
+        let base = report_key(&spec, exp.seed, &system, &exp, &sys, false);
+        assert_eq!(
+            base,
+            report_key(&spec, exp.seed, &system, &exp, &sys, false)
+        );
+        // The workload-generation seed is distinct content from the
+        // grid's seed: a lab built under a different seed than the grid
+        // runs with must never share a cache entry.
+        assert_ne!(
+            base,
+            report_key(&spec, exp.seed + 1, &system, &exp, &sys, false)
+        );
+        // Seed, budgets, warmup.
+        let mut e2 = exp;
+        e2.seed += 1;
+        assert_ne!(base, report_key(&spec, exp.seed, &system, &e2, &sys, false));
+        let mut e3 = exp;
+        e3.warmup += 1;
+        assert_ne!(base, report_key(&spec, exp.seed, &system, &e3, &sys, false));
+        // CMP config.
+        let mut s2 = sys.clone();
+        s2.mem_latency += 1;
+        assert_ne!(base, report_key(&spec, exp.seed, &system, &exp, &s2, false));
+        // System under test (named kinds, probabilistic payload, ablations).
+        assert_ne!(
+            base,
+            report_key(
+                &spec,
+                exp.seed,
+                &SystemSpec::Kind(SystemKind::NextLine),
+                &exp,
+                &sys,
+                false
+            )
+        );
+        assert_ne!(
+            report_key(
+                &spec,
+                exp.seed,
+                &SystemSpec::Kind(SystemKind::Probabilistic(0.25)),
+                &exp,
+                &sys,
+                false
+            ),
+            report_key(
+                &spec,
+                exp.seed,
+                &SystemSpec::Kind(SystemKind::Probabilistic(0.5)),
+                &exp,
+                &sys,
+                false
+            )
+        );
+        let ablated = SystemSpec::tifs(
+            "no EOS",
+            TifsConfig {
+                end_of_stream: false,
+                ..TifsConfig::virtualized()
+            },
+        );
+        assert_ne!(
+            base,
+            report_key(&spec, exp.seed, &ablated, &exp, &sys, false)
+        );
+        // Labels are display metadata, not content.
+        let relabelled = SystemSpec::tifs("other label", TifsConfig::virtualized());
+        let labelled = SystemSpec::tifs("a label", TifsConfig::virtualized());
+        assert_eq!(
+            report_key(&spec, exp.seed, &labelled, &exp, &sys, false),
+            report_key(&spec, exp.seed, &relabelled, &exp, &sys, false)
+        );
+        // Execution mode is distinct content.
+        assert_ne!(base, report_key(&spec, exp.seed, &system, &exp, &sys, true));
+    }
+
+    #[test]
+    fn sharded_cell_is_thread_count_invariant() {
+        let workload = Workload::build(&WorkloadSpec::tiny_test(), 3);
+        let exp = tiny_exp();
+        let mut sys = SystemConfig::table2();
+        sys.num_cores = 2; // keep the unit test fast but multi-core
+        let system = SystemSpec::Kind(SystemKind::TifsVirtualized);
+        let sequential = run_cell_sharded(&workload, &system, &exp, &sys, 1);
+        let parallel = run_cell_sharded(&workload, &system, &exp, &sys, 4);
+        assert_eq!(
+            sequential.to_canonical_bytes(),
+            parallel.to_canonical_bytes(),
+            "shard scheduling must not change a single byte"
+        );
+        assert_eq!(sequential.cores.len(), 2);
+        assert_eq!(sequential.total_retired(), 2 * exp.instructions);
+    }
+
+    #[test]
+    fn grid_report_store_warm_start_is_all_hits() {
+        let dir =
+            std::env::temp_dir().join(format!("tifs-engine-report-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let grid = ExperimentGrid::new(tiny_exp())
+            .with_system_config(SystemConfig::single_core())
+            .systems([SystemKind::NextLine, SystemKind::TifsVirtualized])
+            .sharded(false);
+        let mk = || {
+            Lab::build(vec![WorkloadSpec::tiny_test()], tiny_exp())
+                .with_report_store(ReportStore::new(&dir).expect("store dir"))
+        };
+        let cold_lab = mk();
+        let cold = grid.run_on(&cold_lab);
+        let s = cold_lab.report_store().unwrap().stats();
+        assert_eq!((s.hits, s.misses, s.writes), (0, 2, 2));
+        let warm_lab = mk();
+        let warm = grid.run_on(&warm_lab);
+        let s = warm_lab.report_store().unwrap().stats();
+        assert_eq!((s.hits, s.misses, s.writes), (2, 0, 0));
+        assert_eq!(format!("{cold:?}"), format!("{warm:?}"));
+        // The store is a pure cache: a storeless lab agrees exactly.
+        let plain = grid.run_on(&Lab::build(vec![WorkloadSpec::tiny_test()], tiny_exp()));
+        assert_eq!(format!("{plain:?}"), format!("{warm:?}"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -12,8 +12,13 @@
 //! parameters, the [`harness::SystemKind`] taxonomy, and compatibility
 //! wrappers; [`report`] renders tables and fits; [`sink`] serializes
 //! every driver's results as canonical, diffable JSON/CSV reports under
-//! `results/`, and [`engine::Lab::with_store`] persists cached miss
-//! traces to disk so repeat evaluations warm-start.
+//! `results/`. Persistence makes repeat evaluations pure warm starts:
+//! [`engine::Lab::with_store`] caches miss traces on disk and
+//! [`engine::Lab::with_report_store`] caches whole timing-cell
+//! [`SimReport`](tifs_sim::stats::SimReport)s under content-addressed
+//! keys ([`engine::report_key`]), while
+//! [`engine::ExperimentGrid::sharded`] shards a wide cell's cores across
+//! threads with a deterministic, byte-identical merge.
 //!
 //! ```no_run
 //! use tifs_experiments::harness::{run_system, ExpConfig, SystemKind};

@@ -83,7 +83,7 @@ pub struct L2Response {
 }
 
 /// Aggregate L2 statistics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct L2Stats {
     /// Accesses by kind, in [`L2ReqKind::ALL`] order.
     pub accesses: [u64; 6],

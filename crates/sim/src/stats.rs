@@ -1,9 +1,11 @@
-//! Simulation statistics: per-core counters and whole-run reports.
+//! Simulation statistics: per-core counters, whole-run reports, the
+//! canonical report codec (the payload of the persistent report store),
+//! and the deterministic merge of per-shard reports.
 
 use crate::l2::L2Stats;
 
 /// Per-core counters collected during a timing run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Retired instructions.
     pub retired: u64,
@@ -58,7 +60,7 @@ impl CoreStats {
 
 /// Whole-run report: per-core stats, L2 stats, and prefetcher-specific
 /// counters.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimReport {
     /// Per-core statistics.
     pub cores: Vec<CoreStats>,
@@ -110,6 +112,248 @@ impl SimReport {
             self.aggregate_ipc() / b
         }
     }
+
+    /// Canonical byte encoding of this report: fixed field order, fixed
+    /// little-endian widths, floats as exact bit patterns. Two equal
+    /// reports encode to identical bytes on every platform, so the
+    /// persistent report store and the byte-identity determinism tests
+    /// can compare encodings directly. The layout is pinned by
+    /// [`SIM_REPORT_LAYOUT_VERSION`]; every field of every stat struct is
+    /// destructured exhaustively, so adding a counter without extending
+    /// the codec is a compile error, never silent data loss.
+    pub fn to_canonical_bytes(&self) -> Vec<u8> {
+        let SimReport {
+            cores,
+            l2,
+            cycles,
+            prefetcher,
+        } = self;
+        let mut out = Vec::with_capacity(64 + cores.len() * 80 + prefetcher.len() * 24);
+        let put = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
+        put(&mut out, cores.len() as u64);
+        for core in cores {
+            let CoreStats {
+                retired,
+                cycles,
+                fetch_blocks,
+                l1i_hits,
+                next_line_hits,
+                prefetch_hits,
+                demand_misses,
+                fetch_stall_cycles,
+                mispredicts,
+                cond_branches,
+            } = core;
+            for v in [
+                retired,
+                cycles,
+                fetch_blocks,
+                l1i_hits,
+                next_line_hits,
+                prefetch_hits,
+                demand_misses,
+                fetch_stall_cycles,
+                mispredicts,
+                cond_branches,
+            ] {
+                put(&mut out, *v);
+            }
+        }
+        let L2Stats {
+            accesses,
+            inst_hits,
+            inst_misses,
+            mshr_rejects,
+            mem_transfers,
+            tag_updates,
+            tag_update_drops,
+            queue_delay,
+        } = l2;
+        for v in accesses {
+            put(&mut out, *v);
+        }
+        for v in [
+            inst_hits,
+            inst_misses,
+            mshr_rejects,
+            mem_transfers,
+            tag_updates,
+            tag_update_drops,
+            queue_delay,
+        ] {
+            put(&mut out, *v);
+        }
+        put(&mut out, *cycles);
+        put(&mut out, prefetcher.len() as u64);
+        for (name, value) in prefetcher {
+            put(&mut out, name.len() as u64);
+            out.extend_from_slice(name.as_bytes());
+            put(&mut out, value.to_bits());
+        }
+        out
+    }
+
+    /// Decodes a report written by
+    /// [`to_canonical_bytes`](Self::to_canonical_bytes). Round-trips
+    /// exactly; any malformed input — truncation, trailing bytes, a
+    /// non-UTF-8 counter name — is an error, never a wrong report.
+    pub fn from_canonical_bytes(bytes: &[u8]) -> Result<SimReport, ReportCodecError> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        let n_cores = cur.u64()? as usize;
+        // A corrupt count cannot trigger an unbounded allocation: every
+        // core costs 80 bytes, so cap the preallocation by what remains.
+        let mut cores = Vec::with_capacity(n_cores.min(bytes.len() / 80 + 1));
+        for _ in 0..n_cores {
+            cores.push(CoreStats {
+                retired: cur.u64()?,
+                cycles: cur.u64()?,
+                fetch_blocks: cur.u64()?,
+                l1i_hits: cur.u64()?,
+                next_line_hits: cur.u64()?,
+                prefetch_hits: cur.u64()?,
+                demand_misses: cur.u64()?,
+                fetch_stall_cycles: cur.u64()?,
+                mispredicts: cur.u64()?,
+                cond_branches: cur.u64()?,
+            });
+        }
+        let mut accesses = [0u64; 6];
+        for slot in &mut accesses {
+            *slot = cur.u64()?;
+        }
+        let l2 = L2Stats {
+            accesses,
+            inst_hits: cur.u64()?,
+            inst_misses: cur.u64()?,
+            mshr_rejects: cur.u64()?,
+            mem_transfers: cur.u64()?,
+            tag_updates: cur.u64()?,
+            tag_update_drops: cur.u64()?,
+            queue_delay: cur.u64()?,
+        };
+        let cycles = cur.u64()?;
+        let n_counters = cur.u64()? as usize;
+        let mut prefetcher = Vec::with_capacity(n_counters.min(bytes.len() / 16 + 1));
+        for _ in 0..n_counters {
+            let len = cur.u64()? as usize;
+            let raw = cur.take(len)?;
+            let name = std::str::from_utf8(raw)
+                .map_err(|_| ReportCodecError::BadCounterName)?
+                .to_string();
+            let value = f64::from_bits(cur.u64()?);
+            prefetcher.push((name, value));
+        }
+        if cur.pos != bytes.len() {
+            return Err(ReportCodecError::TrailingBytes);
+        }
+        Ok(SimReport {
+            cores,
+            l2,
+            cycles,
+            prefetcher,
+        })
+    }
+
+    /// Deterministically merges per-shard reports (one independent
+    /// single-core — or core-subset — run per shard) into one report:
+    /// cores concatenate in shard order, L2 counters sum, `cycles` takes
+    /// the slowest shard (the wall the merged run would have waited on),
+    /// and prefetcher counters merge by name in first-appearance order
+    /// with values summed. The merge is a pure fold in argument order, so
+    /// identical inputs produce identical outputs whatever thread
+    /// schedule produced them.
+    pub fn merge_shards(parts: &[SimReport]) -> SimReport {
+        let mut merged = SimReport::default();
+        for part in parts {
+            let SimReport {
+                cores,
+                l2,
+                cycles,
+                prefetcher,
+            } = part;
+            merged.cores.extend(cores.iter().cloned());
+            let L2Stats {
+                accesses,
+                inst_hits,
+                inst_misses,
+                mshr_rejects,
+                mem_transfers,
+                tag_updates,
+                tag_update_drops,
+                queue_delay,
+            } = l2;
+            for (slot, v) in merged.l2.accesses.iter_mut().zip(accesses) {
+                *slot += v;
+            }
+            merged.l2.inst_hits += inst_hits;
+            merged.l2.inst_misses += inst_misses;
+            merged.l2.mshr_rejects += mshr_rejects;
+            merged.l2.mem_transfers += mem_transfers;
+            merged.l2.tag_updates += tag_updates;
+            merged.l2.tag_update_drops += tag_update_drops;
+            merged.l2.queue_delay += queue_delay;
+            merged.cycles = merged.cycles.max(*cycles);
+            for (name, value) in prefetcher {
+                match merged.prefetcher.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, acc)) => *acc += value,
+                    None => merged.prefetcher.push((name.clone(), *value)),
+                }
+            }
+        }
+        merged
+    }
+}
+
+/// Version of the canonical [`SimReport`] byte layout. Hashed into every
+/// report store key (alongside the container format version), so a layout
+/// change re-addresses all cached reports instead of misdecoding them.
+pub const SIM_REPORT_LAYOUT_VERSION: u32 = 1;
+
+/// Errors decoding a canonical report payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReportCodecError {
+    /// The payload ended inside a field.
+    Truncated,
+    /// Bytes remained after the last field.
+    TrailingBytes,
+    /// A prefetcher counter name was not valid UTF-8.
+    BadCounterName,
+}
+
+impl std::fmt::Display for ReportCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportCodecError::Truncated => write!(f, "truncated report payload"),
+            ReportCodecError::TrailingBytes => write!(f, "trailing bytes in report payload"),
+            ReportCodecError::BadCounterName => write!(f, "non-UTF-8 counter name"),
+        }
+    }
+}
+
+impl std::error::Error for ReportCodecError {}
+
+/// Minimal bounds-checked reader over the canonical payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ReportCodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(ReportCodecError::Truncated)?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u64(&mut self) -> Result<u64, ReportCodecError> {
+        let raw = self.take(8)?;
+        Ok(u64::from_le_bytes(raw.try_into().expect("8-byte slice")))
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +378,106 @@ mod tests {
         assert_eq!(r.aggregate_ipc(), 0.0);
         assert_eq!(r.coverage(), 0.0);
         assert_eq!(r.prefetcher_counter("x"), None);
+    }
+
+    fn sample_report() -> SimReport {
+        SimReport {
+            cores: vec![
+                CoreStats {
+                    retired: 1000,
+                    cycles: 500,
+                    fetch_blocks: 300,
+                    l1i_hits: 250,
+                    next_line_hits: 20,
+                    prefetch_hits: 15,
+                    demand_misses: 15,
+                    fetch_stall_cycles: 80,
+                    mispredicts: 9,
+                    cond_branches: 120,
+                },
+                CoreStats {
+                    retired: 900,
+                    ..CoreStats::default()
+                },
+            ],
+            l2: L2Stats {
+                accesses: [1, 2, 3, 4, 5, 6],
+                inst_hits: 7,
+                inst_misses: 8,
+                mshr_rejects: 9,
+                mem_transfers: 10,
+                tag_updates: 11,
+                tag_update_drops: 12,
+                queue_delay: 13,
+            },
+            cycles: 777,
+            prefetcher: vec![("streams".into(), 4.0), ("discards".into(), 0.5)],
+        }
+    }
+
+    #[test]
+    fn canonical_bytes_roundtrip_exactly() {
+        for report in [sample_report(), SimReport::default()] {
+            let bytes = report.to_canonical_bytes();
+            let back = SimReport::from_canonical_bytes(&bytes).unwrap();
+            assert_eq!(back, report);
+            // Canonical: re-encoding yields the same bytes.
+            assert_eq!(back.to_canonical_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn canonical_decode_rejects_malformed_payloads() {
+        let bytes = sample_report().to_canonical_bytes();
+        for cut in [bytes.len() - 1, bytes.len() / 2, 7, 0] {
+            assert_eq!(
+                SimReport::from_canonical_bytes(&bytes[..cut]),
+                Err(ReportCodecError::Truncated),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            SimReport::from_canonical_bytes(&trailing),
+            Err(ReportCodecError::TrailingBytes)
+        );
+        // A corrupt core count larger than the payload must error, not
+        // allocate or loop.
+        let mut huge = bytes;
+        huge[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            SimReport::from_canonical_bytes(&huge),
+            Err(ReportCodecError::Truncated)
+        );
+    }
+
+    #[test]
+    fn merge_concatenates_cores_and_sums_l2() {
+        let a = sample_report();
+        let mut b = sample_report();
+        b.cycles = 1000;
+        b.prefetcher = vec![("discards".into(), 1.5), ("late".into(), 2.0)];
+        let merged = SimReport::merge_shards(&[a.clone(), b.clone()]);
+        assert_eq!(merged.cores.len(), 4);
+        assert_eq!(merged.cores[..2], a.cores[..]);
+        assert_eq!(merged.cores[2..], b.cores[..]);
+        assert_eq!(merged.l2.accesses, [2, 4, 6, 8, 10, 12]);
+        assert_eq!(merged.l2.queue_delay, 26);
+        assert_eq!(merged.cycles, 1000, "merged cycles is the slowest shard");
+        assert_eq!(
+            merged.prefetcher,
+            vec![
+                ("streams".into(), 4.0),
+                ("discards".into(), 2.0),
+                ("late".into(), 2.0)
+            ],
+            "counters merge by name in first-appearance order"
+        );
+        // Merging a single part is the identity.
+        assert_eq!(SimReport::merge_shards(std::slice::from_ref(&a)), a);
+        // Merging nothing is the empty report.
+        assert_eq!(SimReport::merge_shards(&[]), SimReport::default());
     }
 
     #[test]

@@ -4,7 +4,8 @@
 use proptest::prelude::*;
 use tifs_sim::cache::SetAssocCache;
 use tifs_sim::config::SystemConfig;
-use tifs_sim::l2::{L2ReqKind, L2};
+use tifs_sim::l2::{L2ReqKind, L2Stats, L2};
+use tifs_sim::stats::{CoreStats, ReportCodecError, SimReport};
 use tifs_trace::BlockAddr;
 
 proptest! {
@@ -83,5 +84,143 @@ proptest! {
         let total: u64 = L2ReqKind::ALL.iter().map(|&k| l2.stats().of(k)).sum();
         prop_assert_eq!(total, kinds.len() as u64);
         prop_assert!(l2.stats().base_traffic() + l2.stats().iml_traffic() == total);
+    }
+
+    #[test]
+    fn report_codec_roundtrips_arbitrary_reports(
+        core_words in prop::collection::vec(
+            prop::collection::vec(any::<u64>(), 10..11),
+            0..5,
+        ),
+        l2_words in prop::collection::vec(any::<u64>(), 13..14),
+        cycles in any::<u64>(),
+        counters in prop::collection::vec(
+            (prop::collection::vec(any::<u8>(), 0..12), any::<u64>()),
+            0..5,
+        ),
+    ) {
+        let report = arbitrary_report(&core_words, &l2_words, cycles, &counters);
+        let bytes = report.to_canonical_bytes();
+        let back = SimReport::from_canonical_bytes(&bytes).expect("decode");
+        // Byte-level comparison survives NaN counter values (a float's
+        // exact bit pattern round-trips even where `==` cannot see it).
+        prop_assert_eq!(back.to_canonical_bytes(), bytes);
+        prop_assert_eq!(back.cores.len(), report.cores.len());
+        prop_assert_eq!(back.cores, report.cores);
+        prop_assert_eq!(back.l2, report.l2);
+    }
+
+    #[test]
+    fn report_codec_rejects_any_truncation(
+        core_words in prop::collection::vec(
+            prop::collection::vec(any::<u64>(), 10..11),
+            0..5,
+        ),
+        l2_words in prop::collection::vec(any::<u64>(), 13..14),
+        cycles in any::<u64>(),
+        counters in prop::collection::vec(
+            (prop::collection::vec(any::<u8>(), 0..12), any::<u64>()),
+            0..5,
+        ),
+        cut_seed in any::<u64>(),
+        trailing in 1usize..5,
+    ) {
+        let report = arbitrary_report(&core_words, &l2_words, cycles, &counters);
+        let bytes = report.to_canonical_bytes();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert_eq!(
+            SimReport::from_canonical_bytes(&bytes[..cut]),
+            Err(ReportCodecError::Truncated),
+            "prefix of {} / {} bytes must not decode",
+            cut,
+            bytes.len()
+        );
+        let mut padded = bytes.clone();
+        padded.resize(bytes.len() + trailing, 0);
+        prop_assert!(SimReport::from_canonical_bytes(&padded).is_err());
+    }
+
+    #[test]
+    fn shard_merge_is_associative_on_l2_and_cores(
+        shards in prop::collection::vec(
+            prop::collection::vec(any::<u64>(), 10..11),
+            1..6,
+        ),
+    ) {
+        // Merging all shards at once equals merging a prefix, then the
+        // rest — the property that lets the engine chunk per-core work
+        // units however it likes without changing a byte.
+        let parts: Vec<SimReport> = shards
+            .iter()
+            .map(|w| arbitrary_report(std::slice::from_ref(w), &[1; 13], w[0], &[]))
+            .collect();
+        let all = SimReport::merge_shards(&parts);
+        for split in 0..parts.len() {
+            let left = SimReport::merge_shards(&parts[..split]);
+            let right = SimReport::merge_shards(&parts[split..]);
+            let two_step = SimReport::merge_shards(&[left, right]);
+            prop_assert_eq!(
+                two_step.to_canonical_bytes(),
+                all.to_canonical_bytes(),
+                "split at {} diverged",
+                split
+            );
+        }
+    }
+}
+
+/// Builds a report from drawn words: counters get printable ASCII names
+/// and arbitrary f64 bit patterns (NaNs included — the codec must carry
+/// them bit-exactly).
+fn arbitrary_report(
+    core_words: &[Vec<u64>],
+    l2_words: &[u64],
+    cycles: u64,
+    counters: &[(Vec<u8>, u64)],
+) -> SimReport {
+    let cores = core_words
+        .iter()
+        .map(|w| CoreStats {
+            retired: w[0],
+            cycles: w[1],
+            fetch_blocks: w[2],
+            l1i_hits: w[3],
+            next_line_hits: w[4],
+            prefetch_hits: w[5],
+            demand_misses: w[6],
+            fetch_stall_cycles: w[7],
+            mispredicts: w[8],
+            cond_branches: w[9],
+        })
+        .collect();
+    let l2 = L2Stats {
+        accesses: [
+            l2_words[0],
+            l2_words[1],
+            l2_words[2],
+            l2_words[3],
+            l2_words[4],
+            l2_words[5],
+        ],
+        inst_hits: l2_words[6],
+        inst_misses: l2_words[7],
+        mshr_rejects: l2_words[8],
+        mem_transfers: l2_words[9],
+        tag_updates: l2_words[10],
+        tag_update_drops: l2_words[11],
+        queue_delay: l2_words[12],
+    };
+    let prefetcher = counters
+        .iter()
+        .map(|(name, bits)| {
+            let name: String = name.iter().map(|b| (b'a' + b % 26) as char).collect();
+            (name, f64::from_bits(*bits))
+        })
+        .collect();
+    SimReport {
+        cores,
+        l2,
+        cycles,
+        prefetcher,
     }
 }

@@ -393,6 +393,94 @@ pub fn read_symbol_sections<R: Read>(
     Ok(out)
 }
 
+// ---------------------------------------------------------------------------
+// Report sections — the on-disk report store's entry format.
+// ---------------------------------------------------------------------------
+//
+// Same container discipline as the miss-trace section (magic, version,
+// owning key, explicit body length, trailing checksum), but the body is an
+// opaque canonical payload produced by a higher layer — the simulator's
+// `SimReport` encoding lives in `tifs_sim`, which this crate cannot depend
+// on. The framing alone guarantees that truncation, bit flips, stale
+// versions, and misplaced keys surface a [`CodecError`] before a single
+// payload byte reaches the caller.
+
+/// Magic bytes identifying a TIFS report store entry.
+pub const REPORT_MAGIC: [u8; 4] = *b"TIFR";
+/// Current report entry format version. Bump this when *either* the frame
+/// layout or the canonical `SimReport` payload encoding changes: stale
+/// entries then fail loudly with [`CodecError::BadVersion`] and are
+/// evicted, never misdecoded.
+pub const REPORT_VERSION: u32 = 1;
+
+/// Writes an opaque report payload as one store entry owned by the key
+/// fingerprint `key`, framed exactly like a miss-trace section.
+pub fn write_report_section<W: Write>(w: &mut W, key: u128, body: &[u8]) -> Result<(), CodecError> {
+    w.write_all(&REPORT_MAGIC)?;
+    w.write_all(&REPORT_VERSION.to_le_bytes())?;
+    w.write_all(&key.to_le_bytes())?;
+    w.write_all(&(body.len() as u64).to_le_bytes())?;
+    w.write_all(body)?;
+    w.write_all(&fnv1a64(body).to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads a report entry written by [`write_report_section`], verifying
+/// magic, version, checksum, and (when given) the owning key fingerprint,
+/// and returns the payload bytes.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on any malformed input: wrong magic or version,
+/// truncation anywhere, a checksum mismatch, or an entry owned by a
+/// different key. A wrong payload is never returned.
+pub fn read_report_section<R: Read>(
+    r: &mut R,
+    expected_key: Option<u128>,
+) -> Result<Vec<u8>, CodecError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != REPORT_MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let mut v4 = [0u8; 4];
+    r.read_exact(&mut v4)
+        .map_err(|_| CodecError::Corrupt("truncated version"))?;
+    let version = u32::from_le_bytes(v4);
+    if version != REPORT_VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let mut k16 = [0u8; 16];
+    r.read_exact(&mut k16)
+        .map_err(|_| CodecError::Corrupt("truncated key"))?;
+    let found = u128::from_le_bytes(k16);
+    if let Some(expected) = expected_key {
+        if expected != found {
+            return Err(CodecError::KeyMismatch { expected, found });
+        }
+    }
+    let mut l8 = [0u8; 8];
+    r.read_exact(&mut l8)
+        .map_err(|_| CodecError::Corrupt("truncated body length"))?;
+    let body_len = u64::from_le_bytes(l8);
+    // `take` bounds the read so a corrupt length cannot trigger an
+    // unbounded allocation; a short read is caught by the length check.
+    let mut body = Vec::new();
+    r.take(body_len)
+        .read_to_end(&mut body)
+        .map_err(CodecError::Io)?;
+    if body.len() as u64 != body_len {
+        return Err(CodecError::Corrupt("truncated body"));
+    }
+    let mut c8 = [0u8; 8];
+    r.read_exact(&mut c8)
+        .map_err(|_| CodecError::Corrupt("truncated checksum"))?;
+    if fnv1a64(&body) != u64::from_le_bytes(c8) {
+        return Err(CodecError::Corrupt("checksum mismatch"));
+    }
+    Ok(body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -563,6 +651,87 @@ mod tests {
                 "prefix of {cut} bytes must not parse"
             );
         }
+    }
+
+    #[test]
+    fn report_section_roundtrip() {
+        let body: Vec<u8> = (0..200u16).map(|i| (i * 7) as u8).collect();
+        let mut buf = Vec::new();
+        write_report_section(&mut buf, 0x1234, &body).unwrap();
+        assert_eq!(
+            read_report_section(&mut buf.as_slice(), Some(0x1234)).unwrap(),
+            body
+        );
+        // Key verification is optional.
+        assert_eq!(
+            read_report_section(&mut buf.as_slice(), None).unwrap(),
+            body
+        );
+        // Empty payloads frame fine.
+        let mut empty = Vec::new();
+        write_report_section(&mut empty, 9, &[]).unwrap();
+        assert!(read_report_section(&mut empty.as_slice(), Some(9))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn report_section_rejects_faults() {
+        let mut buf = Vec::new();
+        write_report_section(&mut buf, 5, b"payload bytes").unwrap();
+        // Wrong key.
+        assert!(matches!(
+            read_report_section(&mut buf.as_slice(), Some(6)),
+            Err(CodecError::KeyMismatch {
+                expected: 6,
+                found: 5
+            })
+        ));
+        // Bad magic / stale version.
+        let mut m = buf.clone();
+        m[0] = b'X';
+        assert!(matches!(
+            read_report_section(&mut m.as_slice(), Some(5)),
+            Err(CodecError::BadMagic(_))
+        ));
+        let mut v = buf.clone();
+        v[4] = 0xEE;
+        assert!(matches!(
+            read_report_section(&mut v.as_slice(), Some(5)),
+            Err(CodecError::BadVersion(_))
+        ));
+        // Body bit flip breaks the checksum.
+        let mut c = buf.clone();
+        c[33] ^= 0x04;
+        assert!(matches!(
+            read_report_section(&mut c.as_slice(), Some(5)),
+            Err(CodecError::Corrupt("checksum mismatch"))
+        ));
+        // Every strict prefix fails.
+        for cut in [buf.len() - 1, buf.len() - 9, 33, 20, 5, 0] {
+            assert!(
+                read_report_section(&mut buf[..cut].as_ref(), Some(5)).is_err(),
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn report_and_trace_magics_are_disjoint() {
+        // A report entry renamed into the trace store (or vice versa) must
+        // be rejected at the magic, not misparsed.
+        let mut report = Vec::new();
+        write_report_section(&mut report, 1, b"abc").unwrap();
+        assert!(matches!(
+            read_symbol_sections(&mut report.as_slice(), Some(1)),
+            Err(CodecError::BadMagic(_))
+        ));
+        let mut trace = Vec::new();
+        write_symbol_sections(&mut trace, 1, &[vec![1, 2]]).unwrap();
+        assert!(matches!(
+            read_report_section(&mut trace.as_slice(), Some(1)),
+            Err(CodecError::BadMagic(_))
+        ));
     }
 
     #[test]

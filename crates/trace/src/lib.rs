@@ -43,6 +43,6 @@ pub mod types;
 pub mod workload;
 
 pub use record::{BranchInfo, BranchKind, FetchRecord, MemClass};
-pub use store::{StoreStats, TraceKey, TraceStore};
+pub use store::{Fingerprint, ReportKey, ReportStore, StoreStats, TraceKey, TraceStore};
 pub use types::{Addr, BlockAddr, CoreId, Cycle, BLOCK_BYTES, INSTRS_PER_BLOCK, INSTR_BYTES};
 pub use workload::{Workload, WorkloadClass, WorkloadSpec};

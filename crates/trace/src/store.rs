@@ -1,17 +1,22 @@
-//! Content-addressed on-disk store for cached miss traces.
+//! Content-addressed on-disk stores for cached miss traces and timing
+//! reports.
 //!
 //! Building a workload's per-core L1-I miss traces costs a full pass of
-//! the functional fetch model over millions of instructions, and the
-//! paper's trace analyses (Figures 3, 5, 6, 10, 11) all start from those
-//! traces. The store makes that pass a once-per-machine cost instead of a
+//! the functional fetch model over millions of instructions, and a timing
+//! run ([`tifs_sim`]'s cycle-level CMP) costs far more again; the paper's
+//! evaluation replays both over large (workload × system) grids. The
+//! stores make each of those a once-per-machine cost instead of a
 //! once-per-process cost:
 //!
-//! * every entry is keyed by a [`TraceKey`] — a stable 128-bit FNV-1a
-//!   fingerprint of the generating [`WorkloadSpec`], the seed, the
-//!   instruction budget, the core count, and the entry format version, so
-//!   any input change addresses different content;
-//! * entries are written through the miss-trace codec section
-//!   ([`crate::codec::write_symbol_sections`]) to a temporary file and
+//! * every entry is keyed by a stable 128-bit FNV-1a fingerprint
+//!   ([`Fingerprint`]) of *every* generating input — the [`WorkloadSpec`],
+//!   seed, instruction budget, core count, and entry format version for a
+//!   [`TraceKey`]; the full cell configuration (spec, experiment
+//!   parameters, CMP config, prefetcher config, execution mode) for a
+//!   [`ReportKey`] — so any input change addresses different content;
+//! * entries are written through the checksummed codec sections
+//!   ([`crate::codec::write_symbol_sections`] /
+//!   [`crate::codec::write_report_section`]) to a temporary file and
 //!   atomically renamed into place, so a crashed writer never leaves a
 //!   partially written entry under a live name;
 //! * reads stream entries back through a buffered reader and verify
@@ -19,10 +24,11 @@
 //!   evicted loudly (a warning on stderr, the file deleted) and the
 //!   caller rebuilds from scratch.
 //!
-//! The store is controlled by the `TIFS_TRACE_STORE` environment
-//! variable: unset uses [`DEFAULT_STORE_DIR`], a path selects that
-//! directory, and `off` / `0` / `none` disables persistence entirely for
-//! hermetic runs.
+//! The trace store is controlled by the `TIFS_TRACE_STORE` environment
+//! variable and the report store by `TIFS_REPORT_STORE`: unset uses the
+//! default directory ([`DEFAULT_STORE_DIR`] / [`DEFAULT_REPORT_STORE_DIR`]),
+//! a path selects that directory, and `off` / `0` / `none` disables
+//! persistence entirely for hermetic runs.
 
 use std::fs;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -33,46 +39,140 @@ use crate::codec::{self, CodecError};
 use crate::types::BlockAddr;
 use crate::workload::{WorkloadClass, WorkloadSpec};
 
-/// Environment variable selecting the store directory (`off` / `0` /
-/// `none` disables the store).
+/// Environment variable selecting the trace store directory (`off` / `0`
+/// / `none` disables the store).
 pub const STORE_ENV: &str = "TIFS_TRACE_STORE";
 
-/// Default store directory, relative to the working directory.
+/// Default trace store directory, relative to the working directory.
 pub const DEFAULT_STORE_DIR: &str = ".tifs-cache/traces";
 
-/// 128-bit FNV-1a over a canonical byte serialization.
-struct Fnv128(u128);
+/// Environment variable selecting the report store directory (`off` /
+/// `0` / `none` disables the store).
+pub const REPORT_STORE_ENV: &str = "TIFS_REPORT_STORE";
 
-impl Fnv128 {
+/// Default report store directory, relative to the working directory.
+pub const DEFAULT_REPORT_STORE_DIR: &str = ".tifs-cache/reports";
+
+/// 128-bit FNV-1a fingerprint builder over a canonical byte
+/// serialization. This is the one hashing scheme behind every store key:
+/// callers feed each input through a typed method (strings are length-
+/// prefixed, floats hash their exact bit pattern) and take the final
+/// [`finish`](Fingerprint::finish) value as the content address.
+#[derive(Clone, Debug)]
+pub struct Fingerprint(u128);
+
+impl Fingerprint {
     const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
     const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
 
-    fn new() -> Fnv128 {
-        Fnv128(Self::OFFSET)
+    /// An empty fingerprint (FNV offset basis).
+    pub fn new() -> Fingerprint {
+        Fingerprint(Self::OFFSET)
     }
 
-    fn bytes(&mut self, bytes: &[u8]) {
+    /// Feeds raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u128::from(b);
             self.0 = self.0.wrapping_mul(Self::PRIME);
         }
     }
 
-    fn u64(&mut self, v: u64) {
+    /// Feeds one `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) {
         self.bytes(&v.to_le_bytes());
     }
 
-    fn f64(&mut self, v: f64) {
+    /// Feeds one `f64` as its exact bit pattern.
+    pub fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
 
-    fn str(&mut self, s: &str) {
+    /// Feeds one `bool` as a `u64`.
+    pub fn bool(&mut self, v: bool) {
+        self.u64(u64::from(v));
+    }
+
+    /// Feeds a length-prefixed string.
+    pub fn str(&mut self, s: &str) {
         self.u64(s.len() as u64);
         self.bytes(s.as_bytes());
     }
+
+    /// The 128-bit fingerprint of everything fed so far.
+    pub fn finish(&self) -> u128 {
+        self.0
+    }
 }
 
-/// Stable content address of one store entry.
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+/// Feeds every field of a [`WorkloadSpec`] into `h`, exhaustively: adding
+/// a `WorkloadSpec` field without hashing it here is a compile error,
+/// never a stale cache hit. Shared by [`TraceKey::for_section`] and the
+/// experiment engine's report keys.
+pub fn hash_workload_spec(h: &mut Fingerprint, spec: &WorkloadSpec) {
+    let WorkloadSpec {
+        name,
+        class,
+        seed_salt,
+        n_txn_types,
+        path_len,
+        func_instrs,
+        shared_frac,
+        shared_pool,
+        divergence_every,
+        n_variants,
+        hammock_period,
+        data_dep_frac,
+        inner_loop_prob,
+        avg_loop_iters,
+        scan_loops,
+        scan_iters,
+        cold_pool,
+        cold_prob,
+        trap_period,
+        n_trap_handlers,
+        data:
+            crate::exec::DataProfile {
+                l1d_miss_rate,
+                l2_hit_frac,
+            },
+    } = spec;
+    h.str(name);
+    h.u64(match class {
+        WorkloadClass::Oltp => 0,
+        WorkloadClass::Dss => 1,
+        WorkloadClass::Web => 2,
+    });
+    h.u64(*seed_salt);
+    h.u64(*n_txn_types as u64);
+    h.u64(*path_len as u64);
+    h.u64(u64::from(func_instrs.0));
+    h.u64(u64::from(func_instrs.1));
+    h.f64(*shared_frac);
+    h.u64(*shared_pool as u64);
+    h.u64(*divergence_every as u64);
+    h.u64(*n_variants as u64);
+    h.u64(u64::from(*hammock_period));
+    h.f64(*data_dep_frac);
+    h.f64(*inner_loop_prob);
+    h.f64(*avg_loop_iters);
+    h.u64(u64::from(*scan_loops));
+    h.f64(*scan_iters);
+    h.u64(*cold_pool as u64);
+    h.f64(*cold_prob);
+    h.u64(*trap_period);
+    h.u64(*n_trap_handlers as u64);
+    h.f64(*l1d_miss_rate);
+    h.f64(*l2_hit_frac);
+}
+
+/// Stable content address of one trace store entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TraceKey(pub u128);
 
@@ -92,74 +192,34 @@ impl TraceKey {
         instructions: u64,
         cores: usize,
     ) -> TraceKey {
-        // Exhaustive destructuring: adding a `WorkloadSpec` field without
-        // hashing it here is a compile error, never a stale cache hit.
-        let WorkloadSpec {
-            name,
-            class,
-            seed_salt,
-            n_txn_types,
-            path_len,
-            func_instrs,
-            shared_frac,
-            shared_pool,
-            divergence_every,
-            n_variants,
-            hammock_period,
-            data_dep_frac,
-            inner_loop_prob,
-            avg_loop_iters,
-            scan_loops,
-            scan_iters,
-            cold_pool,
-            cold_prob,
-            trap_period,
-            n_trap_handlers,
-            data:
-                crate::exec::DataProfile {
-                    l1d_miss_rate,
-                    l2_hit_frac,
-                },
-        } = spec;
-        let mut h = Fnv128::new();
+        let mut h = Fingerprint::new();
         h.u64(u64::from(codec::MISS_TRACE_VERSION));
         h.str(section);
-        h.str(name);
-        h.u64(match class {
-            WorkloadClass::Oltp => 0,
-            WorkloadClass::Dss => 1,
-            WorkloadClass::Web => 2,
-        });
-        h.u64(*seed_salt);
-        h.u64(*n_txn_types as u64);
-        h.u64(*path_len as u64);
-        h.u64(u64::from(func_instrs.0));
-        h.u64(u64::from(func_instrs.1));
-        h.f64(*shared_frac);
-        h.u64(*shared_pool as u64);
-        h.u64(*divergence_every as u64);
-        h.u64(*n_variants as u64);
-        h.u64(u64::from(*hammock_period));
-        h.f64(*data_dep_frac);
-        h.f64(*inner_loop_prob);
-        h.f64(*avg_loop_iters);
-        h.u64(u64::from(*scan_loops));
-        h.f64(*scan_iters);
-        h.u64(*cold_pool as u64);
-        h.f64(*cold_prob);
-        h.u64(*trap_period);
-        h.u64(*n_trap_handlers as u64);
-        h.f64(*l1d_miss_rate);
-        h.f64(*l2_hit_frac);
+        hash_workload_spec(&mut h, spec);
         h.u64(seed);
         h.u64(instructions);
         h.u64(cores as u64);
-        TraceKey(h.0)
+        TraceKey(h.finish())
     }
 
     /// Store file name of this key.
     pub fn file_name(&self) -> String {
         format!("{:032x}.tifm", self.0)
+    }
+}
+
+/// Stable content address of one report store entry. Built by the
+/// experiment engine from a [`Fingerprint`] over the *full* cell
+/// configuration: workload spec, seed, instruction and warmup budgets,
+/// every CMP parameter, the prefetcher configuration, the execution mode
+/// (coupled vs. core-sharded), and the report format version.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ReportKey(pub u128);
+
+impl ReportKey {
+    /// Store file name of this key.
+    pub fn file_name(&self) -> String {
+        format!("{:032x}.tifr", self.0)
     }
 }
 
@@ -176,13 +236,13 @@ pub struct StoreStats {
     pub evictions: u64,
 }
 
-/// A directory of content-addressed trace entries.
-///
-/// All operations are `&self` and thread-safe: the store is shared by
-/// the engine's parallel analysis workers.
+/// The machinery shared by both stores: a root directory, activity
+/// counters, loud eviction, and the atomic temp-file + rename write
+/// protocol. All operations are `&self` and thread-safe.
 #[derive(Debug)]
-pub struct TraceStore {
+struct StoreCore {
     root: PathBuf,
+    label: &'static str,
     hits: AtomicU64,
     misses: AtomicU64,
     writes: AtomicU64,
@@ -190,13 +250,13 @@ pub struct TraceStore {
     tmp_seq: AtomicU64,
 }
 
-impl TraceStore {
-    /// Opens (creating if needed) a store rooted at `root`.
-    pub fn new(root: impl Into<PathBuf>) -> io::Result<TraceStore> {
+impl StoreCore {
+    fn new(root: impl Into<PathBuf>, label: &'static str) -> io::Result<StoreCore> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(TraceStore {
+        Ok(StoreCore {
             root,
+            label,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
@@ -205,16 +265,118 @@ impl TraceStore {
         })
     }
 
+    /// Resolves `var` to a store directory: `None` when the variable
+    /// disables persistence (`off` / `0` / `none` / empty), else the
+    /// named directory, defaulting to `default_dir`.
+    fn dir_from_env(var: &str, default_dir: &str) -> Option<PathBuf> {
+        match std::env::var(var) {
+            Ok(v) if matches!(v.as_str(), "off" | "0" | "none" | "") => None,
+            Ok(v) => Some(PathBuf::from(v)),
+            Err(_) => Some(PathBuf::from(default_dir)),
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Loads one entry through `parse`: a missing file is a plain miss; a
+    /// parse failure evicts the entry loudly and counts a miss so the
+    /// caller rebuilds it.
+    fn load_with<T>(
+        &self,
+        path: &Path,
+        parse: impl FnOnce(&mut BufReader<fs::File>) -> Result<T, CodecError>,
+    ) -> Option<T> {
+        let file = match fs::File::open(path) {
+            Ok(f) => f,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match parse(&mut BufReader::new(file)) {
+            Ok(value) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            Err(e) => {
+                self.evict(path, &e);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Deletes an entry loudly (counted in `evictions`).
+    fn evict(&self, path: &Path, reason: &dyn std::fmt::Display) {
+        eprintln!(
+            "[{}] evicting corrupt entry {}: {reason}",
+            self.label,
+            path.display()
+        );
+        let _ = fs::remove_file(path);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Writes one entry atomically (temp file + rename): readers see
+    /// either no entry or a complete one, never a partial write.
+    fn save_with(
+        &self,
+        file_name: &str,
+        write: impl FnOnce(&mut BufWriter<fs::File>) -> Result<(), CodecError>,
+    ) -> Result<PathBuf, CodecError> {
+        let path = self.root.join(file_name);
+        let tmp = self.root.join(format!(
+            ".tmp-{}-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed),
+            file_name
+        ));
+        let result = (|| -> Result<(), CodecError> {
+            let mut w = BufWriter::new(fs::File::create(&tmp)?);
+            write(&mut w)?;
+            w.flush()?;
+            Ok(())
+        })();
+        if let Err(e) = result {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        fs::rename(&tmp, &path).map_err(CodecError::Io)?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(path)
+    }
+}
+
+/// A directory of content-addressed miss-trace entries.
+///
+/// All operations are `&self` and thread-safe: the store is shared by
+/// the engine's parallel analysis workers.
+#[derive(Debug)]
+pub struct TraceStore {
+    core: StoreCore,
+}
+
+impl TraceStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<TraceStore> {
+        Ok(TraceStore {
+            core: StoreCore::new(root, "trace-store")?,
+        })
+    }
+
     /// Opens the store selected by [`STORE_ENV`]: `None` when the
     /// variable disables it (`off` / `0` / `none` / empty) or when the
     /// directory cannot be created (warned on stderr); otherwise the
     /// named directory, defaulting to [`DEFAULT_STORE_DIR`].
     pub fn from_env() -> Option<TraceStore> {
-        let dir = match std::env::var(STORE_ENV) {
-            Ok(v) if matches!(v.as_str(), "off" | "0" | "none" | "") => return None,
-            Ok(v) => PathBuf::from(v),
-            Err(_) => PathBuf::from(DEFAULT_STORE_DIR),
-        };
+        let dir = StoreCore::dir_from_env(STORE_ENV, DEFAULT_STORE_DIR)?;
         match TraceStore::new(&dir) {
             Ok(store) => Some(store),
             Err(e) => {
@@ -229,52 +391,26 @@ impl TraceStore {
 
     /// The store's root directory.
     pub fn root(&self) -> &Path {
-        &self.root
+        &self.core.root
     }
 
     /// On-disk path of `key`'s entry.
     pub fn entry_path(&self, key: &TraceKey) -> PathBuf {
-        self.root.join(key.file_name())
+        self.core.root.join(key.file_name())
     }
 
     /// Activity counters so far.
     pub fn stats(&self) -> StoreStats {
-        StoreStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-        }
+        self.core.stats()
     }
 
     /// Loads `key`'s symbol sections, or `None` on a miss. A corrupt,
     /// truncated, version-mismatched, or wrong-key entry is evicted
     /// loudly and reported as a miss so the caller rebuilds it.
     pub fn load(&self, key: &TraceKey) -> Option<Vec<Vec<u64>>> {
-        let path = self.entry_path(key);
-        let file = match fs::File::open(&path) {
-            Ok(f) => f,
-            Err(_) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                return None;
-            }
-        };
-        match codec::read_symbol_sections(&mut BufReader::new(file), Some(key.0)) {
-            Ok(sections) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(sections)
-            }
-            Err(e) => {
-                eprintln!(
-                    "[trace-store] evicting corrupt entry {}: {e}",
-                    path.display()
-                );
-                let _ = fs::remove_file(&path);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
+        self.core.load_with(&self.entry_path(key), |r| {
+            codec::read_symbol_sections(r, Some(key.0))
+        })
     }
 
     /// As [`load`](Self::load), converting sections to [`BlockAddr`]s.
@@ -290,26 +426,9 @@ impl TraceStore {
     /// Writes `key`'s entry atomically (temp file + rename): readers see
     /// either no entry or a complete one, never a partial write.
     pub fn save(&self, key: &TraceKey, sections: &[Vec<u64>]) -> Result<PathBuf, CodecError> {
-        let path = self.entry_path(key);
-        let tmp = self.root.join(format!(
-            ".tmp-{}-{}-{}",
-            std::process::id(),
-            self.tmp_seq.fetch_add(1, Ordering::Relaxed),
-            key.file_name()
-        ));
-        let result = (|| -> Result<(), CodecError> {
-            let mut w = BufWriter::new(fs::File::create(&tmp)?);
-            codec::write_symbol_sections(&mut w, key.0, sections)?;
-            w.flush()?;
-            Ok(())
-        })();
-        if let Err(e) = result {
-            let _ = fs::remove_file(&tmp);
-            return Err(e);
-        }
-        fs::rename(&tmp, &path).map_err(CodecError::Io)?;
-        self.writes.fetch_add(1, Ordering::Relaxed);
-        Ok(path)
+        self.core.save_with(&key.file_name(), |w| {
+            codec::write_symbol_sections(w, key.0, sections)
+        })
     }
 
     /// As [`save`](Self::save), for [`BlockAddr`] traces.
@@ -326,15 +445,97 @@ impl TraceStore {
     }
 }
 
+/// A directory of content-addressed timing-report entries. The payload is
+/// an opaque canonical encoding produced above this crate (the simulator's
+/// `SimReport` codec); this store guarantees only that a loaded payload is
+/// byte-identical to what was saved under the same key, or absent.
+///
+/// All operations are `&self` and thread-safe: the store is shared by the
+/// engine's parallel cell workers.
+#[derive(Debug)]
+pub struct ReportStore {
+    core: StoreCore,
+}
+
+impl ReportStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<ReportStore> {
+        Ok(ReportStore {
+            core: StoreCore::new(root, "report-store")?,
+        })
+    }
+
+    /// Opens the store selected by [`REPORT_STORE_ENV`]: `None` when the
+    /// variable disables it (`off` / `0` / `none` / empty) or when the
+    /// directory cannot be created (warned on stderr); otherwise the
+    /// named directory, defaulting to [`DEFAULT_REPORT_STORE_DIR`].
+    pub fn from_env() -> Option<ReportStore> {
+        let dir = StoreCore::dir_from_env(REPORT_STORE_ENV, DEFAULT_REPORT_STORE_DIR)?;
+        match ReportStore::new(&dir) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!(
+                    "[report-store] cannot open {}: {e}; persistence disabled",
+                    dir.display()
+                );
+                None
+            }
+        }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.core.root
+    }
+
+    /// On-disk path of `key`'s entry.
+    pub fn entry_path(&self, key: &ReportKey) -> PathBuf {
+        self.core.root.join(key.file_name())
+    }
+
+    /// Activity counters so far.
+    pub fn stats(&self) -> StoreStats {
+        self.core.stats()
+    }
+
+    /// Loads `key`'s payload bytes, or `None` on a miss. A corrupt,
+    /// truncated, version-mismatched, or wrong-key entry is evicted
+    /// loudly and reported as a miss so the caller recomputes it.
+    pub fn load(&self, key: &ReportKey) -> Option<Vec<u8>> {
+        self.core.load_with(&self.entry_path(key), |r| {
+            codec::read_report_section(r, Some(key.0))
+        })
+    }
+
+    /// Writes `key`'s entry atomically (temp file + rename): readers see
+    /// either no entry or a complete one, never a partial write.
+    pub fn save(&self, key: &ReportKey, payload: &[u8]) -> Result<PathBuf, CodecError> {
+        self.core.save_with(&key.file_name(), |w| {
+            codec::write_report_section(w, key.0, payload)
+        })
+    }
+
+    /// Evicts `key`'s entry loudly. For callers whose *payload* decoding
+    /// failed after the frame verified — a layering the frame checksum
+    /// cannot see — so the bad entry is rebuilt instead of looping.
+    pub fn evict(&self, key: &ReportKey, reason: &dyn std::fmt::Display) {
+        self.core.evict(&self.entry_path(key), reason);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn temp_store(tag: &str) -> TraceStore {
+    fn temp_dir(tag: &str) -> PathBuf {
         let dir =
             std::env::temp_dir().join(format!("tifs-store-unit-{}-{}", std::process::id(), tag));
         let _ = fs::remove_dir_all(&dir);
-        TraceStore::new(dir).expect("create store")
+        dir
+    }
+
+    fn temp_store(tag: &str) -> TraceStore {
+        TraceStore::new(temp_dir(tag)).expect("create store")
     }
 
     #[test]
@@ -349,6 +550,25 @@ mod tests {
         let mut tweaked = WorkloadSpec::tiny_test();
         tweaked.shared_frac += 0.001;
         assert_ne!(k, TraceKey::for_section("miss_trace", &tweaked, 1, 1000, 4));
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_type_sensitive() {
+        let mut a = Fingerprint::new();
+        a.u64(1);
+        a.u64(2);
+        let mut b = Fingerprint::new();
+        b.u64(2);
+        b.u64(1);
+        assert_ne!(a.finish(), b.finish());
+        // Length-prefixed strings do not collide across boundaries.
+        let mut c = Fingerprint::new();
+        c.str("ab");
+        c.str("c");
+        let mut d = Fingerprint::new();
+        d.str("a");
+        d.str("bc");
+        assert_ne!(c.finish(), d.finish());
     }
 
     #[test]
@@ -393,5 +613,29 @@ mod tests {
         store.save_blocks(&key, &traces).unwrap();
         assert_eq!(store.load_blocks(&key), Some(traces));
         let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn report_store_roundtrip_and_stats() {
+        let store = ReportStore::new(temp_dir("report-rt")).expect("create store");
+        let key = ReportKey(0xBEEF);
+        let payload: Vec<u8> = (0..100u8).collect();
+        assert_eq!(store.load(&key), None);
+        store.save(&key, &payload).unwrap();
+        assert_eq!(store.load(&key), Some(payload));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.writes, s.evictions), (1, 1, 1, 0));
+        // Explicit eviction (payload-level failure path).
+        store.evict(&key, &"payload decode failed");
+        assert_eq!(store.load(&key), None);
+        assert_eq!(store.stats().evictions, 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn trace_and_report_keys_use_distinct_extensions() {
+        assert!(TraceKey(1).file_name().ends_with(".tifm"));
+        assert!(ReportKey(1).file_name().ends_with(".tifr"));
+        assert_ne!(TraceKey(1).file_name(), ReportKey(1).file_name());
     }
 }
