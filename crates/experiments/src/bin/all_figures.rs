@@ -15,7 +15,11 @@
 //! writes a canonical JSON/CSV report (`TIFS_RESULTS`, default
 //! `results/`); reports are byte-identical between cold and warm runs.
 //! `TIFS_SHARD_CORES=1` switches timing cells to intra-cell core
-//! sharding (independent single-core runs, deterministically merged).
+//! sharding (independent single-core runs, deterministically merged);
+//! `TIFS_SHARD_CONTENTION=1` additionally reconstructs shared-L2
+//! contention and block sharing post hoc (`engine::convolve_shards`),
+//! tracking the coupled CMP's figures at shard-level speed.
+//! `TIFS_STORE_MAX_BYTES` bounds each persistent store with LRU GC.
 
 use tifs_experiments::engine::Lab;
 use tifs_experiments::figures::{fig01, fig03, fig05, fig06, fig10, fig11, fig12, fig13, tables};
@@ -68,22 +72,24 @@ fn main() {
     if let Some(store) = lab.store() {
         let s = store.stats();
         println!(
-            "[trace store] {} hits, {} misses, {} writes, {} evictions ({})",
+            "[trace store] {} hits, {} misses, {} writes, {} evictions, {} gc-evictions ({})",
             s.hits,
             s.misses,
             s.writes,
             s.evictions,
+            s.gc_evictions,
             store.root().display()
         );
     }
     if let Some(store) = lab.report_store() {
         let s = store.stats();
         println!(
-            "[report store] {} hits, {} misses, {} writes, {} evictions ({})",
+            "[report store] {} hits, {} misses, {} writes, {} evictions, {} gc-evictions ({})",
             s.hits,
             s.misses,
             s.writes,
             s.evictions,
+            s.gc_evictions,
             store.root().display()
         );
     }

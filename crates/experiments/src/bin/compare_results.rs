@@ -1,0 +1,173 @@
+//! Compares two structured-results directories within a numeric
+//! tolerance: the CI gate for the contention-aware sharded mode, which
+//! must track the coupled CMP's figures without being byte-identical to
+//! them.
+//!
+//! ```sh
+//! compare_results <dir_a> <dir_b> [--tol 0.08] [--abs 0.05] [name.csv ...]
+//! ```
+//!
+//! With explicit file names, only those CSVs are compared; otherwise
+//! every `.csv` present in *both* directories is. Text cells must match
+//! exactly; a numeric pair `(a, b)` passes when
+//! `|a - b| <= max(abs, tol * max(|a|, |b|))`. Exits 1 with a per-cell
+//! report of every violation.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Splits one RFC-4180-style CSV line (double-quote escaping).
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted && chars.peek() == Some(&'"') => {
+                chars.next();
+                cur.push('"');
+            }
+            '"' => quoted = !quoted,
+            ',' if !quoted => cells.push(std::mem::take(&mut cur)),
+            c => cur.push(c),
+        }
+    }
+    cells.push(cur);
+    cells
+}
+
+struct Tolerance {
+    rel: f64,
+    abs: f64,
+}
+
+fn compare_file(a: &Path, b: &Path, tol: &Tolerance, violations: &mut Vec<String>) {
+    let read = |p: &Path| -> Vec<Vec<String>> {
+        let text = std::fs::read_to_string(p)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", p.display()));
+        text.lines().map(split_csv_line).collect()
+    };
+    let (ra, rb) = (read(a), read(b));
+    let name = a.file_name().unwrap_or_default().to_string_lossy();
+    if ra.len() != rb.len() {
+        violations.push(format!("{name}: row count {} vs {}", ra.len(), rb.len()));
+        return;
+    }
+    for (i, (row_a, row_b)) in ra.iter().zip(&rb).enumerate() {
+        if row_a.len() != row_b.len() {
+            violations.push(format!(
+                "{name} row {i}: width {} vs {}",
+                row_a.len(),
+                row_b.len()
+            ));
+            continue;
+        }
+        for (j, (ca, cb)) in row_a.iter().zip(row_b).enumerate() {
+            match (ca.parse::<f64>(), cb.parse::<f64>()) {
+                (Ok(va), Ok(vb)) => {
+                    // NaN comparisons are false, which would wave a
+                    // degenerate cell through: require exact text there.
+                    if va.is_nan() || vb.is_nan() {
+                        if ca != cb {
+                            violations.push(format!(
+                                "{name} row {i} col {j}: non-finite {ca:?} vs {cb:?}"
+                            ));
+                        }
+                        continue;
+                    }
+                    let bound = tol.abs.max(tol.rel * va.abs().max(vb.abs()));
+                    if (va - vb).abs() > bound {
+                        violations.push(format!(
+                            "{name} row {i} col {j}: {va} vs {vb} \
+                             (|Δ| {:.6} > bound {:.6})",
+                            (va - vb).abs(),
+                            bound
+                        ));
+                    }
+                }
+                _ => {
+                    if ca != cb {
+                        violations.push(format!("{name} row {i} col {j}: text {ca:?} vs {cb:?}"));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut files: Vec<String> = Vec::new();
+    let mut tol = Tolerance {
+        rel: 0.08,
+        abs: 0.05,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tol" | "--abs" => {
+                let value = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .unwrap_or_else(|| panic!("{} needs a numeric value", args[i]));
+                if args[i] == "--tol" {
+                    tol.rel = value;
+                } else {
+                    tol.abs = value;
+                }
+                i += 2;
+            }
+            name if name.ends_with(".csv") => {
+                files.push(name.to_string());
+                i += 1;
+            }
+            dir => {
+                dirs.push(PathBuf::from(dir));
+                i += 1;
+            }
+        }
+    }
+    let [dir_a, dir_b] = &dirs[..] else {
+        eprintln!("usage: compare_results <dir_a> <dir_b> [--tol T] [--abs A] [name.csv ...]");
+        return ExitCode::FAILURE;
+    };
+    if files.is_empty() {
+        let mut in_a: Vec<String> = std::fs::read_dir(dir_a)
+            .expect("read dir_a")
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".csv"))
+            .collect();
+        in_a.sort();
+        files = in_a
+            .into_iter()
+            .filter(|n| dir_b.join(n).exists())
+            .collect();
+    }
+    assert!(!files.is_empty(), "no common .csv files to compare");
+    let mut violations = Vec::new();
+    for f in &files {
+        compare_file(&dir_a.join(f), &dir_b.join(f), &tol, &mut violations);
+    }
+    if violations.is_empty() {
+        println!(
+            "compare_results: {} file(s) within tolerance (rel {}, abs {})",
+            files.len(),
+            tol.rel,
+            tol.abs
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "compare_results: {} violation(s) across {} file(s):",
+            violations.len(),
+            files.len()
+        );
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -135,6 +135,14 @@ impl SetAssocCache {
     pub fn churn(&self) -> (u64, u64) {
         (self.insertions, self.evictions)
     }
+
+    /// Every resident block, sorted by address (a deterministic snapshot
+    /// of the cache's contents, independent of insertion history).
+    pub fn resident_blocks(&self) -> Vec<BlockAddr> {
+        let mut out: Vec<BlockAddr> = self.sets.iter().flatten().copied().collect();
+        out.sort_unstable();
+        out
+    }
 }
 
 #[cfg(test)]

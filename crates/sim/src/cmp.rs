@@ -101,11 +101,15 @@ impl<'a> Cmp<'a> {
             for core in &mut self.cores {
                 core.reset_stats(now);
             }
-            self.l2.reset_stats();
+            self.l2.reset_stats(now);
             self.pf.reset_counters();
         }
+        // `cycles` covers only the measured window: per-core counters are
+        // already epoch-relative, and charging the warmup phase here too
+        // would deflate every report-level cycles/IPC figure.
+        let measure_start = self.now;
         let mut report = self.run(measure_per_core);
-        report.cycles = self.now;
+        report.cycles = self.now - measure_start;
         report
     }
 
@@ -113,6 +117,12 @@ impl<'a> Cmp<'a> {
     pub fn tick(&mut self) {
         for core in &mut self.cores {
             core.tick(self.now, &mut self.l2, self.pf.as_mut());
+        }
+        // Deliver evictions raised by this cycle's core requests *before*
+        // the prefetcher tick: Index-Table invalidations must not lag the
+        // evicting access, or the prefetcher acts on stale residency.
+        for evicted in self.l2.take_evictions() {
+            self.pf.on_l2_evict(evicted);
         }
         {
             let mut ctx = PrefetchCtx {
@@ -122,6 +132,7 @@ impl<'a> Cmp<'a> {
             };
             self.pf.tick(&mut ctx);
         }
+        // The prefetcher's own requests can evict too.
         for evicted in self.l2.take_evictions() {
             self.pf.on_l2_evict(evicted);
         }
@@ -133,6 +144,15 @@ impl<'a> Cmp<'a> {
         self.now
     }
 
+    /// Enables or disables L2 event recording: with it on, every accepted
+    /// L2 request is timestamped into the report's `l2_events` timeline
+    /// (warmup events are discarded with the other warmup statistics).
+    /// The contention-aware sharded execution mode turns this on per
+    /// shard and convolves the recorded timelines post hoc.
+    pub fn set_record_l2_events(&mut self, on: bool) {
+        self.l2.set_record_events(on);
+    }
+
     /// Builds the report for the run so far.
     pub fn report(&self) -> SimReport {
         SimReport {
@@ -140,6 +160,8 @@ impl<'a> Cmp<'a> {
             l2: self.l2.stats().clone(),
             cycles: self.now,
             prefetcher: self.pf.counters(),
+            l2_events: self.l2.events().to_vec(),
+            l2_warm_blocks: self.l2.warm_blocks().to_vec(),
         }
     }
 }

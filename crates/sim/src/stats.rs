@@ -2,7 +2,9 @@
 //! canonical report codec (the payload of the persistent report store),
 //! and the deterministic merge of per-shard reports.
 
-use crate::l2::L2Stats;
+use tifs_trace::BlockAddr;
+
+use crate::l2::{L2Event, L2ReqKind, L2Stats};
 
 /// Per-core counters collected during a timing run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -70,6 +72,17 @@ pub struct SimReport {
     pub cycles: u64,
     /// Prefetcher-specific named counters (e.g. SVB discards).
     pub prefetcher: Vec<(String, f64)>,
+    /// Recorded L2 access timeline (empty unless event recording was on —
+    /// the raw material of the contention-aware shard merge). Encoded as
+    /// a trailing versioned section; a report with no events encodes to
+    /// exactly the [`SIM_REPORT_LAYOUT_VERSION`] byte layout.
+    pub l2_events: Vec<L2Event>,
+    /// Instruction blocks resident in the L2 directory at the measurement
+    /// epoch (sorted; recorded only with event recording on). The
+    /// contention convolution unions these per-shard warm sets to seed
+    /// the reconstructed shared directory. Rides in the same trailing
+    /// versioned section as `l2_events`.
+    pub l2_warm_blocks: Vec<BlockAddr>,
 }
 
 impl SimReport {
@@ -127,6 +140,8 @@ impl SimReport {
             l2,
             cycles,
             prefetcher,
+            l2_events,
+            l2_warm_blocks,
         } = self;
         let mut out = Vec::with_capacity(64 + cores.len() * 80 + prefetcher.len() * 24);
         let put = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
@@ -190,6 +205,31 @@ impl SimReport {
             out.extend_from_slice(name.as_bytes());
             put(&mut out, value.to_bits());
         }
+        // Versioned trailing event section, present only when a timeline
+        // was recorded: an eventless report keeps the layout-1 bytes
+        // exactly, so every pre-existing store entry stays decodable and
+        // warm.
+        if !l2_events.is_empty() || !l2_warm_blocks.is_empty() {
+            put(&mut out, u64::from(SIM_REPORT_EVENT_LAYOUT_VERSION));
+            put(&mut out, l2_events.len() as u64);
+            for e in l2_events {
+                // Exhaustive destructure: extending L2Event without
+                // extending the codec is a compile error.
+                let L2Event {
+                    issue,
+                    block,
+                    kind,
+                    hit,
+                } = *e;
+                put(&mut out, issue);
+                put(&mut out, block.0);
+                put(&mut out, kind.index() as u64 | (u64::from(hit) << 8));
+            }
+            put(&mut out, l2_warm_blocks.len() as u64);
+            for b in l2_warm_blocks {
+                put(&mut out, b.0);
+            }
+        }
         out
     }
 
@@ -243,6 +283,46 @@ impl SimReport {
             let value = f64::from_bits(cur.u64()?);
             prefetcher.push((name, value));
         }
+        // Layout-1 payloads end here; a layout-2 payload continues with
+        // the versioned event section.
+        let mut l2_events = Vec::new();
+        let mut l2_warm_blocks = Vec::new();
+        if cur.pos != bytes.len() {
+            let section = cur.u64()?;
+            if section != u64::from(SIM_REPORT_EVENT_LAYOUT_VERSION) {
+                return Err(ReportCodecError::BadEventSection(section));
+            }
+            let n_events = cur.u64()? as usize;
+            l2_events.reserve(n_events.min(bytes.len() / 24 + 1));
+            for _ in 0..n_events {
+                let issue = cur.u64()?;
+                let block = BlockAddr(cur.u64()?);
+                let packed = cur.u64()?;
+                let kind = L2ReqKind::from_index((packed & 0xFF) as usize)
+                    .ok_or(ReportCodecError::BadEventKind)?;
+                let hit = match packed >> 8 {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(ReportCodecError::BadEventKind),
+                };
+                l2_events.push(L2Event {
+                    issue,
+                    block,
+                    kind,
+                    hit,
+                });
+            }
+            let n_warm = cur.u64()? as usize;
+            l2_warm_blocks.reserve(n_warm.min(bytes.len() / 8 + 1));
+            for _ in 0..n_warm {
+                l2_warm_blocks.push(BlockAddr(cur.u64()?));
+            }
+            if l2_events.is_empty() && l2_warm_blocks.is_empty() {
+                // A present-but-empty section would make the encoding
+                // non-canonical (two byte strings for one report).
+                return Err(ReportCodecError::TrailingBytes);
+            }
+        }
         if cur.pos != bytes.len() {
             return Err(ReportCodecError::TrailingBytes);
         }
@@ -251,6 +331,8 @@ impl SimReport {
             l2,
             cycles,
             prefetcher,
+            l2_events,
+            l2_warm_blocks,
         })
     }
 
@@ -270,7 +352,11 @@ impl SimReport {
                 l2,
                 cycles,
                 prefetcher,
+                l2_events,
+                l2_warm_blocks,
             } = part;
+            merged.l2_events.extend(l2_events.iter().copied());
+            merged.l2_warm_blocks.extend(l2_warm_blocks.iter().copied());
             merged.cores.extend(cores.iter().cloned());
             let L2Stats {
                 accesses,
@@ -304,10 +390,19 @@ impl SimReport {
     }
 }
 
-/// Version of the canonical [`SimReport`] byte layout. Hashed into every
-/// report store key (alongside the container format version), so a layout
-/// change re-addresses all cached reports instead of misdecoding them.
+/// Version of the canonical [`SimReport`] byte layout for *eventless*
+/// reports. Hashed into every report store key (alongside the container
+/// format version), so a layout change re-addresses all cached reports
+/// instead of misdecoding them.
 pub const SIM_REPORT_LAYOUT_VERSION: u32 = 1;
+
+/// Bumped layout version for reports carrying a recorded L2 event
+/// timeline: the layout-1 fields followed by a trailing event section
+/// tagged with this version. Eventless reports keep encoding as layout 1
+/// byte-for-byte, so existing store entries for the coupled and
+/// plain-sharded execution modes stay decodable and warm; only the
+/// contention-aware mode addresses layout-2 content.
+pub const SIM_REPORT_EVENT_LAYOUT_VERSION: u32 = 2;
 
 /// Errors decoding a canonical report payload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -318,6 +413,10 @@ pub enum ReportCodecError {
     TrailingBytes,
     /// A prefetcher counter name was not valid UTF-8.
     BadCounterName,
+    /// A trailing event section carried an unknown version tag.
+    BadEventSection(u64),
+    /// An event carried an invalid kind index or hit flag.
+    BadEventKind,
 }
 
 impl std::fmt::Display for ReportCodecError {
@@ -326,6 +425,10 @@ impl std::fmt::Display for ReportCodecError {
             ReportCodecError::Truncated => write!(f, "truncated report payload"),
             ReportCodecError::TrailingBytes => write!(f, "trailing bytes in report payload"),
             ReportCodecError::BadCounterName => write!(f, "non-UTF-8 counter name"),
+            ReportCodecError::BadEventSection(v) => {
+                write!(f, "unknown event-section version {v}")
+            }
+            ReportCodecError::BadEventKind => write!(f, "invalid event kind or hit flag"),
         }
     }
 }
@@ -412,18 +515,111 @@ mod tests {
             },
             cycles: 777,
             prefetcher: vec![("streams".into(), 4.0), ("discards".into(), 0.5)],
+            l2_events: Vec::new(),
+            l2_warm_blocks: Vec::new(),
         }
+    }
+
+    fn sample_events() -> Vec<L2Event> {
+        vec![
+            L2Event {
+                issue: 3,
+                block: BlockAddr(17),
+                kind: L2ReqKind::IFetch,
+                hit: false,
+            },
+            L2Event {
+                issue: 3,
+                block: BlockAddr(33),
+                kind: L2ReqKind::Data,
+                hit: true,
+            },
+            L2Event {
+                issue: 90,
+                block: BlockAddr(0x0800_0000),
+                kind: L2ReqKind::ImlRead,
+                hit: true,
+            },
+        ]
     }
 
     #[test]
     fn canonical_bytes_roundtrip_exactly() {
-        for report in [sample_report(), SimReport::default()] {
+        let with_events = SimReport {
+            l2_events: sample_events(),
+            l2_warm_blocks: vec![BlockAddr(3), BlockAddr(99)],
+            ..sample_report()
+        };
+        let warm_only = SimReport {
+            l2_warm_blocks: vec![BlockAddr(7)],
+            ..sample_report()
+        };
+        for report in [
+            sample_report(),
+            SimReport::default(),
+            with_events,
+            warm_only,
+        ] {
             let bytes = report.to_canonical_bytes();
             let back = SimReport::from_canonical_bytes(&bytes).unwrap();
             assert_eq!(back, report);
             // Canonical: re-encoding yields the same bytes.
             assert_eq!(back.to_canonical_bytes(), bytes);
         }
+    }
+
+    #[test]
+    fn eventless_reports_keep_the_layout_1_encoding() {
+        // The trailing event section appears only when events exist:
+        // every report the coupled and plain-sharded modes produce must
+        // keep its pre-event-section bytes, so existing report-store
+        // entries remain addressable and decodable.
+        let eventless = sample_report();
+        let mut with_events = eventless.clone();
+        with_events.l2_events = sample_events();
+        with_events.l2_warm_blocks = vec![BlockAddr(5)];
+        let base = eventless.to_canonical_bytes();
+        let extended = with_events.to_canonical_bytes();
+        assert_eq!(
+            &extended[..base.len()],
+            &base[..],
+            "the event section must be a pure suffix"
+        );
+        assert_eq!(
+            extended.len() - base.len(),
+            16 + 24 * with_events.l2_events.len() + 8 + 8 * with_events.l2_warm_blocks.len(),
+            "section = version + count + 3 words per event + warm count + warm blocks"
+        );
+    }
+
+    #[test]
+    fn event_section_rejects_bad_version_and_kind() {
+        let report = SimReport {
+            l2_events: sample_events(),
+            ..sample_report()
+        };
+        let base_len = sample_report().to_canonical_bytes().len();
+        let bytes = report.to_canonical_bytes();
+        // Unknown section version.
+        let mut bad_version = bytes.clone();
+        bad_version[base_len..base_len + 8].copy_from_slice(&99u64.to_le_bytes());
+        assert_eq!(
+            SimReport::from_canonical_bytes(&bad_version),
+            Err(ReportCodecError::BadEventSection(99))
+        );
+        // Invalid kind index in the first event's packed word.
+        let packed_at = base_len + 16 + 16;
+        let mut bad_kind = bytes.clone();
+        bad_kind[packed_at..packed_at + 8].copy_from_slice(&0xEEu64.to_le_bytes());
+        assert_eq!(
+            SimReport::from_canonical_bytes(&bad_kind),
+            Err(ReportCodecError::BadEventKind)
+        );
+        // Truncation inside the section.
+        assert_eq!(
+            SimReport::from_canonical_bytes(&bytes[..bytes.len() - 4]),
+            Err(ReportCodecError::Truncated)
+        );
     }
 
     #[test]
@@ -436,11 +632,20 @@ mod tests {
                 "prefix of {cut} bytes must not decode"
             );
         }
+        // Trailing garbage cannot masquerade as an event section: too
+        // short to hold the section header it reads as a truncation, a
+        // full word with the wrong tag as an unknown section version.
         let mut trailing = bytes.clone();
         trailing.push(0);
         assert_eq!(
             SimReport::from_canonical_bytes(&trailing),
-            Err(ReportCodecError::TrailingBytes)
+            Err(ReportCodecError::Truncated)
+        );
+        let mut tagged = bytes.clone();
+        tagged.extend_from_slice(&7u64.to_le_bytes());
+        assert_eq!(
+            SimReport::from_canonical_bytes(&tagged),
+            Err(ReportCodecError::BadEventSection(7))
         );
         // A corrupt core count larger than the payload must error, not
         // allocate or loop.

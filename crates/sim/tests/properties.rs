@@ -222,5 +222,7 @@ fn arbitrary_report(
         l2,
         cycles,
         prefetcher,
+        l2_events: Vec::new(),
+        l2_warm_blocks: Vec::new(),
     }
 }

@@ -407,10 +407,14 @@ pub fn read_symbol_sections<R: Read>(
 
 /// Magic bytes identifying a TIFS report store entry.
 pub const REPORT_MAGIC: [u8; 4] = *b"TIFR";
-/// Current report entry format version. Bump this when *either* the frame
-/// layout or the canonical `SimReport` payload encoding changes: stale
-/// entries then fail loudly with [`CodecError::BadVersion`] and are
-/// evicted, never misdecoded.
+/// Current report entry format version. Bump this when the frame layout
+/// or the canonical `SimReport` payload encoding changes *incompatibly*:
+/// stale entries then fail loudly with [`CodecError::BadVersion`] and
+/// are evicted, never misdecoded. Backward-compatible payload growth
+/// does not bump it — the payload's trailing L2-event section carries
+/// its own version tag (`SIM_REPORT_EVENT_LAYOUT_VERSION` in
+/// `tifs_sim::stats`) and is hashed into the keys of the execution mode
+/// that produces it, so layout-1 entries stay decodable and warm.
 pub const REPORT_VERSION: u32 = 1;
 
 /// Writes an opaque report payload as one store entry owned by the key
