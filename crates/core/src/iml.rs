@@ -101,6 +101,16 @@ impl Iml {
         out
     }
 
+    /// Evicts the oldest retained entry, returning it (capacity
+    /// enforcement by an external allocator — the shared-pool history
+    /// organization evicts the *globally* oldest entry across cores,
+    /// which a log's own capacity bound cannot express).
+    pub fn evict_oldest(&mut self) -> Option<ImlEntry> {
+        let e = self.entries.pop_front()?;
+        self.base += 1;
+        Some(e)
+    }
+
     /// Absolute position of the next append.
     pub fn next_pos(&self) -> u64 {
         self.appended
@@ -194,5 +204,20 @@ mod tests {
     #[should_panic(expected = "capacity too small")]
     fn rejects_tiny_capacity() {
         Iml::new(Some(4));
+    }
+
+    #[test]
+    fn evict_oldest_advances_base() {
+        let mut iml = Iml::new(None);
+        for i in 0..3u64 {
+            iml.append(BlockAddr(i), false);
+        }
+        assert_eq!(iml.evict_oldest().unwrap().block, BlockAddr(0));
+        assert!(!iml.is_valid(0));
+        assert!(iml.is_valid(1));
+        assert_eq!(iml.len(), 2);
+        // Appends continue at the same absolute positions.
+        assert_eq!(iml.append(BlockAddr(9), false), 3);
+        assert!(Iml::new(None).evict_oldest().is_none());
     }
 }

@@ -14,6 +14,10 @@
 //!   detection;
 //! * [`prefetcher`] — the timing-integrated [`TifsPrefetcher`] driving all of the
 //!   above inside the CMP model;
+//! * [`sharing`] — the cross-core metadata organization axis
+//!   ([`MetadataOrg`]): private per-core capacity (the paper), or a
+//!   MANA/Triangel-style shared pool behind arbitrated ports at
+//!   identical total storage;
 //! * [`functional`] — the timing-free coverage model used for the paper's
 //!   IML-capacity study (Figure 11).
 //!
@@ -40,10 +44,12 @@ pub mod functional;
 pub mod iml;
 pub mod index;
 pub mod prefetcher;
+pub mod sharing;
 pub mod svb;
 
 pub use functional::{FunctionalConfig, FunctionalReport, FunctionalTifs};
 pub use iml::{entries_per_core_for_kb, Iml, ImlEntry, BITS_PER_ENTRY, ENTRIES_PER_L2_BLOCK};
 pub use index::{ImlPtr, IndexKind, IndexTable};
 pub use prefetcher::{ImlStorage, TifsConfig, TifsPrefetcher};
+pub use sharing::{CapacityPartition, HistoryBuffers, MetadataOrg};
 pub use svb::{StreamCtx, Svb};

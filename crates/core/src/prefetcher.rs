@@ -18,11 +18,13 @@
 
 use tifs_sim::cache::SetAssocCache;
 use tifs_sim::l2::L2ReqKind;
+use tifs_sim::metadata::MetadataPorts;
 use tifs_sim::prefetch::{FetchKind, IPrefetcher, PrefetchCtx};
 use tifs_trace::BlockAddr;
 
-use crate::iml::{Iml, ENTRIES_PER_L2_BLOCK};
+use crate::iml::ENTRIES_PER_L2_BLOCK;
 use crate::index::{ImlPtr, IndexKind, IndexTable};
+use crate::sharing::{HistoryBuffers, MetadataOrg};
 use crate::svb::Svb;
 
 /// IML storage organization (the three TIFS bars of paper Figure 13).
@@ -61,6 +63,10 @@ pub struct TifsConfig {
     pub rate_target: usize,
     /// Enable end-of-stream detection via hit bits (paper Section 5.1.3).
     pub end_of_stream: bool,
+    /// Cross-core metadata organization (the sharing-study axis): the
+    /// paper's private per-core capacity, or a shared pool behind
+    /// arbitrated ports at the same total storage.
+    pub metadata: MetadataOrg,
 }
 
 impl TifsConfig {
@@ -76,6 +82,7 @@ impl TifsConfig {
             stream_contexts: 4,
             rate_target: 8,
             end_of_stream: true,
+            metadata: MetadataOrg::PrivatePerCore,
         }
     }
 
@@ -107,8 +114,16 @@ impl TifsConfig {
 #[derive(Clone, Debug)]
 pub struct TifsPrefetcher {
     cfg: TifsConfig,
-    imls: Vec<Iml>,
+    history: HistoryBuffers,
     index: IndexTable,
+    /// Shared-metadata port arbiter. Index lookups, index updates,
+    /// history appends, and history group reads each claim a port slot
+    /// in their issue cycle; under a [`MetadataOrg::Shared`] organization
+    /// with finite `ways`, latency-sensitive operations (lookups, group
+    /// reads) absorb the cross-core delay while retire-side operations
+    /// (appends, updates) only occupy ports. Private organizations
+    /// arbitrate nothing (`ways == 0`).
+    ports: MetadataPorts,
     svbs: Vec<Svb>,
     /// Per-core mirror of L1-I contents, consulted before issuing stream
     /// prefetches (residency probes over the L1 tag ports; the paper's
@@ -137,8 +152,9 @@ impl TifsPrefetcher {
         };
         TifsPrefetcher {
             cfg,
-            imls: (0..num_cores).map(|_| Iml::new(capacity)).collect(),
+            history: HistoryBuffers::new(num_cores, capacity, cfg.metadata),
             index: IndexTable::new(cfg.index),
+            ports: MetadataPorts::new(num_cores, cfg.metadata.port_ways()),
             svbs: (0..num_cores)
                 .map(|_| Svb::new(cfg.svb_blocks, cfg.stream_contexts))
                 .collect(),
@@ -179,7 +195,12 @@ impl TifsPrefetcher {
             }
             (s.src_core as usize, s.next_pos)
         };
-        let group = self.imls[src_core].read_group(next_pos, ENTRIES_PER_L2_BLOCK);
+        // The group read claims a shared-metadata port slot; a contended
+        // slot delays the data below (never the private organization).
+        let port_delay = self.ports.access(ctx.now, core);
+        let group = self
+            .history
+            .read_group(src_core, next_pos, ENTRIES_PER_L2_BLOCK);
         if group.is_empty() {
             self.svbs[core].stream_mut(sid).exhausted = true;
             return;
@@ -201,6 +222,9 @@ impl TifsPrefetcher {
         s.fifo.extend(group);
         s.next_pos += got;
         s.data_ready = s.data_ready.max(data_ready);
+        if port_delay > 0 {
+            s.data_ready = s.data_ready.max(ctx.now + port_delay);
+        }
         if got < ENTRIES_PER_L2_BLOCK as u64 {
             // Caught up with the log head; more may be appended later, so
             // keep the stream live but stop reading until entries exist.
@@ -355,11 +379,18 @@ impl IPrefetcher for TifsPrefetcher {
             return None;
         }
         // SVB miss: locate the most recent occurrence and start a stream.
+        // The lookup claims a shared-metadata port slot; cross-core
+        // contention delays the new stream's start, never the demand
+        // miss itself (the lookup is off the critical fetch path).
         self.lookups += 1;
+        let port_delay = self.ports.access(ctx.now, core);
         match self.index.lookup(block) {
-            Some(ImlPtr { core: src, pos }) if self.imls[src as usize].is_valid(pos) => {
+            Some(ImlPtr { core: src, pos }) if self.history.is_valid(src as usize, pos) => {
                 let sid = self.svbs[core].allocate_stream(ctx.now, src, pos + 1);
                 self.streams_allocated += 1;
+                if port_delay > 0 {
+                    self.svbs[core].stream_mut(sid).data_ready = ctx.now + port_delay;
+                }
                 self.refill_stream(ctx, core, sid);
             }
             _ => {
@@ -376,7 +407,11 @@ impl IPrefetcher for TifsPrefetcher {
         supplied: bool,
     ) {
         let core = ctx.core;
-        let pos = self.imls[core].append(block, supplied);
+        // Retire-side metadata traffic (history append + index update)
+        // occupies shared ports — delaying other cores' same-cycle
+        // lookups — but is itself never waited on.
+        self.ports.access(ctx.now, core);
+        let pos = self.history.append(core, block, supplied);
         if self.virtualized() && (pos + 1) % ENTRIES_PER_L2_BLOCK as u64 == 0 {
             // A group filled: write it back to the L2 data array.
             let addr = Self::iml_region_block(core, pos);
@@ -388,6 +423,7 @@ impl IPrefetcher for TifsPrefetcher {
                 self.iml_writes += 1;
             }
         }
+        self.ports.access(ctx.now, core);
         let applied = match self.cfg.index {
             IndexKind::Dedicated => true,
             IndexKind::Embedded => {
@@ -417,7 +453,7 @@ impl IPrefetcher for TifsPrefetcher {
                 let s = &self.svbs[core].streams()[sid as usize];
                 if s.active && s.exhausted {
                     let src = s.src_core as usize;
-                    if self.imls[src].is_valid(s.next_pos) {
+                    if self.history.is_valid(src, s.next_pos) {
                         self.svbs[core].stream_mut(sid).exhausted = false;
                     }
                 }
@@ -438,6 +474,8 @@ impl IPrefetcher for TifsPrefetcher {
         self.late_supplies = 0;
         self.late_cycles = 0;
         self.index.reset_counters();
+        self.ports.reset_counters();
+        self.history.reset_counters();
         for svb in &mut self.svbs {
             svb.reset_counters();
         }
@@ -447,6 +485,8 @@ impl IPrefetcher for TifsPrefetcher {
         let discards: u64 = self.svbs.iter().map(Svb::discards).sum();
         let svb_hits: u64 = self.svbs.iter().map(Svb::hits).sum();
         let (idx_updates, idx_drops, idx_invals) = self.index.churn();
+        let (port_conflicts, port_wait) = self.ports.contention();
+        let pool_evictions = self.history.pool_evictions();
         vec![
             ("supplied".into(), self.supplied as f64),
             ("svb_hits".into(), svb_hits as f64),
@@ -463,6 +503,12 @@ impl IPrefetcher for TifsPrefetcher {
             ("index_updates".into(), idx_updates as f64),
             ("index_drops".into(), idx_drops as f64),
             ("index_invalidations".into(), idx_invals as f64),
+            // Sharing-axis counters, emitted in every organization (zero
+            // under private metadata) so degenerate shared configurations
+            // stay byte-identical to the private report.
+            ("meta_port_conflicts".into(), port_conflicts as f64),
+            ("meta_port_wait".into(), port_wait as f64),
+            ("iml_pool_evictions".into(), pool_evictions as f64),
         ]
     }
 }
@@ -553,6 +599,126 @@ mod tests {
             "unbounded {} vs virtualized {}",
             unbounded.coverage(),
             virt.coverage()
+        );
+    }
+
+    fn run_cmp(
+        workload: &Workload,
+        cfg: tifs_sim::config::SystemConfig,
+        tifs: TifsConfig,
+        instrs: u64,
+    ) -> tifs_sim::stats::SimReport {
+        let streams: Vec<_> = (0..cfg.num_cores)
+            .map(|c| Box::new(workload.walker(c)) as Box<dyn Iterator<Item = FetchRecord>>)
+            .collect();
+        let cores = cfg.num_cores;
+        let mut cmp = Cmp::new(cfg, streams, Box::new(TifsPrefetcher::new(cores, tifs)));
+        cmp.run(instrs)
+    }
+
+    #[test]
+    fn degenerate_shared_orgs_match_private_exactly() {
+        use crate::sharing::MetadataOrg;
+        let w = Workload::build(&WorkloadSpec::tiny_test(), 9);
+        let base = TifsConfig::virtualized();
+        // 1 core: sharing has nobody to share with, at any port count.
+        let cfg = SystemConfig::single_core();
+        let private = run_cmp(&w, cfg.clone(), base, 30_000);
+        for org in [MetadataOrg::shared_quota(1), MetadataOrg::shared_pool(0)] {
+            let shared = run_cmp(
+                &w,
+                cfg.clone(),
+                TifsConfig {
+                    metadata: org,
+                    ..base
+                },
+                30_000,
+            );
+            assert_eq!(
+                private.to_canonical_bytes(),
+                shared.to_canonical_bytes(),
+                "1-core {org:?} must be byte-identical to private"
+            );
+        }
+        // N cores: per-core quotas + unlimited ports = private.
+        let mut cfg = SystemConfig::table2();
+        cfg.num_cores = 2;
+        let private = run_cmp(&w, cfg.clone(), base, 20_000);
+        let shared = run_cmp(
+            &w,
+            cfg,
+            TifsConfig {
+                metadata: MetadataOrg::shared_quota(0),
+                ..base
+            },
+            20_000,
+        );
+        assert_eq!(private.to_canonical_bytes(), shared.to_canonical_bytes());
+        assert_eq!(private.prefetcher_counter("meta_port_conflicts"), Some(0.0));
+        assert_eq!(private.prefetcher_counter("iml_pool_evictions"), Some(0.0));
+    }
+
+    #[test]
+    fn ported_sharing_contends_on_a_multicore_cmp() {
+        use crate::sharing::MetadataOrg;
+        let w = Workload::build(&WorkloadSpec::web_zeus(), 5);
+        let mut cfg = SystemConfig::table2();
+        cfg.num_cores = 2;
+        let contended = run_cmp(
+            &w,
+            cfg,
+            TifsConfig {
+                metadata: MetadataOrg::shared_quota(1),
+                ..TifsConfig::virtualized()
+            },
+            150_000,
+        );
+        assert!(
+            contended.prefetcher_counter("meta_port_conflicts").unwrap() > 0.0,
+            "two cores on one metadata port must conflict"
+        );
+        assert!(contended.prefetcher_counter("meta_port_wait").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn shared_pool_keeps_streams_a_private_log_would_lose() {
+        use crate::sharing::MetadataOrg;
+        // A tiny budget share: core 0 is the only one logging misses, so
+        // the pooled organization retains ~2x the history for it.
+        let w = Workload::build(&WorkloadSpec::web_zeus(), 5);
+        let mut cfg = SystemConfig::table2();
+        cfg.num_cores = 2;
+        let storage = ImlStorage::Virtualized {
+            entries_per_core: 48,
+        };
+        let quota = run_cmp(
+            &w,
+            cfg.clone(),
+            TifsConfig {
+                storage,
+                metadata: MetadataOrg::shared_quota(0),
+                ..TifsConfig::virtualized()
+            },
+            60_000,
+        );
+        let pool = run_cmp(
+            &w,
+            cfg,
+            TifsConfig {
+                storage,
+                metadata: MetadataOrg::shared_pool(0),
+                ..TifsConfig::virtualized()
+            },
+            60_000,
+        );
+        assert!(
+            pool.prefetcher_counter("iml_pool_evictions").unwrap() > 0.0,
+            "an over-subscribed pool must evict"
+        );
+        assert_ne!(
+            quota.to_canonical_bytes(),
+            pool.to_canonical_bytes(),
+            "partitioning must matter under capacity pressure"
         );
     }
 

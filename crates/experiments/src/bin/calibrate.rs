@@ -6,10 +6,20 @@
 //! Workloads build and analyze in parallel through the engine [`Lab`];
 //! the summary is also written as a structured report (`TIFS_RESULTS`).
 //!
+//! At the default instruction budget the measurements are additionally
+//! checked against the Table I bands ([`tifs_experiments::calibration`],
+//! the same source the `calibration_regression` suite pins): any
+//! workload outside its band prints a per-violation line plus a one-line
+//! summary and makes the process **exit 1**, so scripted retunes and CI
+//! cannot mistake a drifted calibration run for a clean one. A
+//! non-default budget skips the check (the bands are scale-dependent)
+//! and says so.
+//!
 //! ```sh
 //! cargo run --release -p tifs-experiments --bin calibrate [instructions]
 //! ```
 
+use tifs_experiments::calibration::{self, Measurement, CALIBRATION_INSTRUCTIONS};
 use tifs_experiments::engine::Lab;
 use tifs_experiments::harness::ExpConfig;
 use tifs_experiments::sink::{self, Cell, StructuredReport};
@@ -38,7 +48,7 @@ fn main() {
     let n: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .unwrap_or(2_000_000);
+        .unwrap_or(CALIBRATION_INSTRUCTIONS);
     let exp = ExpConfig {
         instructions: n,
         ..ExpConfig::default()
@@ -120,4 +130,39 @@ fn main() {
         ]);
     }
     sink::publish(&structured);
+    if n != CALIBRATION_INSTRUCTIONS {
+        println!(
+            "calibration: band check skipped (bands are pinned at {CALIBRATION_INSTRUCTIONS} \
+             instructions, this run used {n})"
+        );
+        return;
+    }
+    let measured: Vec<Measurement> = rows
+        .iter()
+        .map(|r| Measurement {
+            name: r.name.clone(),
+            text_kb: r.text_kb,
+            miss_per_1k: r.miss_per_1k,
+            repetitive: r.repetitive,
+            median_len: r.median_len,
+            recent_cov: r.recent_cov,
+        })
+        .collect();
+    let failures = calibration::check_bands(&measured);
+    if failures.is_empty() {
+        println!(
+            "calibration: all {} workloads within their Table I bands",
+            measured.len()
+        );
+    } else {
+        for f in &failures {
+            eprintln!("calibration drift: {f}");
+        }
+        println!(
+            "calibration: DRIFTED — {} statistic(s) outside the Table I bands \
+             (retune deliberately; the bands live in tifs_experiments::calibration)",
+            failures.len()
+        );
+        std::process::exit(1);
+    }
 }

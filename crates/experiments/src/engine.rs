@@ -64,7 +64,9 @@
 
 use std::sync::OnceLock;
 
-use tifs_core::{ImlStorage, IndexKind, TifsConfig, TifsPrefetcher};
+use tifs_core::{
+    CapacityPartition, ImlStorage, IndexKind, MetadataOrg, TifsConfig, TifsPrefetcher,
+};
 use tifs_prefetch::{
     DiscontinuityConfig, DiscontinuityPrefetcher, Fdip, FdipConfig, ProbabilisticPrefetcher,
 };
@@ -464,6 +466,14 @@ fn hash_system_spec(h: &mut Fingerprint, system: &SystemSpec) {
 }
 
 /// Feeds every [`TifsConfig`] field (exhaustive destructuring).
+///
+/// The `metadata` organization hashes *append-only*: the default
+/// [`MetadataOrg::PrivatePerCore`] contributes nothing, so every report
+/// key minted before the sharing axis existed is unchanged and all
+/// pre-existing store entries stay warm (the same trick [`ExecMode`]
+/// used for the contention discriminant) — pinned by the
+/// `report_key_stability` regression suite. Shared organizations append
+/// a tagged suffix and therefore address disjoint content.
 fn hash_tifs_config(h: &mut Fingerprint, cfg: &TifsConfig) {
     let TifsConfig {
         storage,
@@ -472,6 +482,7 @@ fn hash_tifs_config(h: &mut Fingerprint, cfg: &TifsConfig) {
         stream_contexts,
         rate_target,
         end_of_stream,
+        metadata,
     } = cfg;
     match storage {
         ImlStorage::Unbounded => h.u64(0),
@@ -492,6 +503,20 @@ fn hash_tifs_config(h: &mut Fingerprint, cfg: &TifsConfig) {
     h.u64(*stream_contexts as u64);
     h.u64(*rate_target as u64);
     h.bool(*end_of_stream);
+    match metadata {
+        MetadataOrg::PrivatePerCore => {}
+        MetadataOrg::Shared {
+            ways,
+            capacity_partition,
+        } => {
+            h.u64(1);
+            h.u64(*ways as u64);
+            h.u64(match capacity_partition {
+                CapacityPartition::PerCoreQuota => 0,
+                CapacityPartition::FullyShared => 1,
+            });
+        }
+    }
 }
 
 /// Loads and decodes one cached cell report. The frame (magic, version,
@@ -1581,6 +1606,30 @@ mod tests {
             base,
             report_key(&spec, exp.seed, &ablated, &exp, &sys, ExecMode::Coupled)
         );
+        // The metadata organization is content: every shared variant
+        // addresses its own entries (private hashes as the pre-axis key,
+        // pinned byte-exactly in the report_key_stability suite).
+        let key_of_org = |org: MetadataOrg| {
+            let spec_sys = SystemSpec::tifs(
+                "org",
+                TifsConfig {
+                    metadata: org,
+                    ..TifsConfig::virtualized()
+                },
+            );
+            report_key(&spec, exp.seed, &spec_sys, &exp, &sys, ExecMode::Coupled)
+        };
+        let org_keys = [
+            key_of_org(MetadataOrg::PrivatePerCore),
+            key_of_org(MetadataOrg::shared_quota(0)),
+            key_of_org(MetadataOrg::shared_quota(2)),
+            key_of_org(MetadataOrg::shared_pool(2)),
+        ];
+        for (i, a) in org_keys.iter().enumerate() {
+            for b in &org_keys[i + 1..] {
+                assert_ne!(a, b, "metadata organizations must not collide");
+            }
+        }
         // Labels are display metadata, not content.
         let relabelled = SystemSpec::tifs("other label", TifsConfig::virtualized());
         let labelled = SystemSpec::tifs("a label", TifsConfig::virtualized());

@@ -1,4 +1,5 @@
-//! One module per reproduced table/figure of the paper's evaluation.
+//! One module per reproduced table/figure of the paper's evaluation,
+//! plus post-paper studies ([`fig_sharing`]).
 
 pub mod fig01;
 pub mod fig03;
@@ -8,4 +9,5 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
+pub mod fig_sharing;
 pub mod tables;

@@ -12,7 +12,10 @@
 //! parameters, the [`harness::SystemKind`] taxonomy, and compatibility
 //! wrappers; [`report`] renders tables and fits; [`sink`] serializes
 //! every driver's results as canonical, diffable JSON/CSV reports under
-//! `results/`. Persistence makes repeat evaluations pure warm starts:
+//! `results/`; [`calibration`] holds the Table I target bands shared by
+//! the `calibrate` binary (nonzero exit on drift) and the
+//! `calibration_regression` suite. Persistence makes repeat evaluations
+//! pure warm starts:
 //! [`engine::Lab::with_store`] caches miss traces on disk and
 //! [`engine::Lab::with_report_store`] caches whole timing-cell
 //! [`SimReport`](tifs_sim::stats::SimReport)s under content-addressed
@@ -31,6 +34,7 @@
 //! println!("speedup {:.3}", tifs.aggregate_ipc() / base.aggregate_ipc());
 //! ```
 
+pub mod calibration;
 pub mod engine;
 pub mod figures;
 pub mod harness;

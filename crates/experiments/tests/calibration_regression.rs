@@ -5,22 +5,13 @@
 //! generator change that moves a workload out of its band fails loudly
 //! here instead of silently skewing every downstream figure.
 //!
-//! The bands encode what the evaluation is sensitive to:
-//!
-//! * **footprint class** (Table I): OLTP ~1 MB+, Web mid-hundreds of KB,
-//!   DSS small;
-//! * **miss density**: OLTP/Web miss often (the workloads TIFS targets),
-//!   DSS rarely;
-//! * **deep repetition** (paper Section 4: ~94% of misses repeat a
-//!   previously observed stream);
-//! * **temporal stream length** (Figure 5 medians: OLTP tens of misses,
-//!   DSS/Web shorter);
-//! * **Recent-heuristic coverage** (Figure 6: following the most recent
-//!   prior occurrence covers most repetitive misses).
-//!
-//! When retuning specs (ROADMAP: drift vs. the paper's targets), update
-//! these bands *with* the retune, in the same commit, deliberately.
+//! The bands themselves live in [`tifs_experiments::calibration`] — one
+//! source shared with the `calibrate` binary, which exits nonzero on
+//! the same drift this suite fails on. When retuning specs (ROADMAP:
+//! drift vs. the paper's targets), move the bands *with* the retune, in
+//! the same commit, deliberately.
 
+use tifs_experiments::calibration::{self, Measurement, CALIBRATION_INSTRUCTIONS};
 use tifs_experiments::engine::Lab;
 use tifs_experiments::harness::ExpConfig;
 use tifs_sequitur::categorize::{categorize, CategoryCounts};
@@ -30,8 +21,9 @@ use tifs_sequitur::LengthCdf;
 use tifs_sim::{miss_trace_with_model, SystemConfig};
 use tifs_trace::filter::collapse_sequential;
 
-/// The `calibrate` binary's default instruction budget.
-const INSTRUCTIONS: u64 = 2_000_000;
+/// The `calibrate` binary's default instruction budget (the scale the
+/// shared bands are pinned at).
+const INSTRUCTIONS: u64 = CALIBRATION_INSTRUCTIONS;
 
 /// One workload's measured calibration statistics.
 #[derive(Debug)]
@@ -44,69 +36,6 @@ struct Measured {
     recent_cov: f64,
     misses: usize,
 }
-
-/// Target band for one workload, with explicit tolerances.
-struct Band {
-    name: &'static str,
-    text_kb: (u64, u64),
-    miss_per_1k: (f64, f64),
-    min_repetitive: f64,
-    median_len: (usize, usize),
-    min_recent_cov: f64,
-}
-
-/// Tolerance bands around the Table I shapes (seeded from the current
-/// generators; a drifting retune must move these deliberately).
-const BANDS: [Band; 6] = [
-    Band {
-        name: "OLTP DB2",
-        text_kb: (900, 2200),
-        miss_per_1k: (5.5, 8.5),
-        min_repetitive: 0.93,
-        median_len: (15, 40),
-        min_recent_cov: 0.60,
-    },
-    Band {
-        name: "OLTP Oracle",
-        text_kb: (900, 2200),
-        miss_per_1k: (5.0, 8.5),
-        min_repetitive: 0.95,
-        median_len: (35, 100),
-        min_recent_cov: 0.65,
-    },
-    Band {
-        name: "DSS Qry2",
-        text_kb: (100, 400),
-        miss_per_1k: (0.5, 2.0),
-        min_repetitive: 0.85,
-        median_len: (4, 12),
-        min_recent_cov: 0.50,
-    },
-    Band {
-        name: "DSS Qry17",
-        text_kb: (60, 400),
-        miss_per_1k: (0.1, 1.0),
-        min_repetitive: 0.60,
-        median_len: (3, 10),
-        min_recent_cov: 0.30,
-    },
-    Band {
-        name: "Web Apache",
-        text_kb: (400, 1100),
-        miss_per_1k: (5.0, 8.5),
-        min_repetitive: 0.90,
-        median_len: (8, 22),
-        min_recent_cov: 0.55,
-    },
-    Band {
-        name: "Web Zeus",
-        text_kb: (150, 1100),
-        miss_per_1k: (2.5, 5.5),
-        min_repetitive: 0.90,
-        median_len: (6, 18),
-        min_recent_cov: 0.45,
-    },
-];
 
 /// Measures exactly what the `calibrate` binary reports, per workload —
 /// once per process: the generators are deterministic, and both tests in
@@ -147,57 +76,18 @@ fn measure_uncached() -> Vec<Measured> {
 
 #[test]
 fn workload_statistics_stay_in_table1_bands() {
-    let measured = measure();
-    assert_eq!(measured.len(), BANDS.len(), "one band per Table I workload");
-    let mut failures = Vec::new();
-    for (m, band) in measured.iter().zip(&BANDS) {
-        assert_eq!(m.name, band.name, "workload order changed");
-        let mut check = |what: &str, ok: bool, detail: String| {
-            if !ok {
-                failures.push(format!("{}: {what} {detail}", m.name));
-            }
-        };
-        check(
-            "text footprint",
-            (band.text_kb.0..=band.text_kb.1).contains(&m.text_kb),
-            format!(
-                "{} KB outside [{}, {}] KB",
-                m.text_kb, band.text_kb.0, band.text_kb.1
-            ),
-        );
-        check(
-            "miss density",
-            m.miss_per_1k >= band.miss_per_1k.0 && m.miss_per_1k <= band.miss_per_1k.1,
-            format!(
-                "{:.2} misses/1k-instr outside [{}, {}]",
-                m.miss_per_1k, band.miss_per_1k.0, band.miss_per_1k.1
-            ),
-        );
-        check(
-            "repetitive fraction",
-            m.repetitive >= band.min_repetitive,
-            format!(
-                "{:.3} below minimum {:.2}",
-                m.repetitive, band.min_repetitive
-            ),
-        );
-        check(
-            "median stream length",
-            (band.median_len.0..=band.median_len.1).contains(&m.median_len),
-            format!(
-                "{} outside [{}, {}]",
-                m.median_len, band.median_len.0, band.median_len.1
-            ),
-        );
-        check(
-            "Recent coverage",
-            m.recent_cov >= band.min_recent_cov,
-            format!(
-                "{:.3} below minimum {:.2}",
-                m.recent_cov, band.min_recent_cov
-            ),
-        );
-    }
+    let measured: Vec<Measurement> = measure()
+        .iter()
+        .map(|m| Measurement {
+            name: m.name.clone(),
+            text_kb: m.text_kb,
+            miss_per_1k: m.miss_per_1k,
+            repetitive: m.repetitive,
+            median_len: m.median_len,
+            recent_cov: m.recent_cov,
+        })
+        .collect();
+    let failures = calibration::check_bands(&measured);
     assert!(
         failures.is_empty(),
         "calibration drifted out of its Table I bands (retune deliberately, \

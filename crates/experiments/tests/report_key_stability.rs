@@ -1,0 +1,199 @@
+//! Report-key schema stability: the pinned constants below are the
+//! `report_key` values a set of representative cells hashed to *before*
+//! the `MetadataOrg` sharing axis existed (captured at commit 232af78,
+//! the last pre-axis tree). Every persistent [`ReportStore`] entry in
+//! the wild is addressed by keys like these; a config-field addition
+//! that shifts any of them silently turns every warm store cold — or
+//! worse, re-addresses old content. This suite makes that failure loud.
+//!
+//! Extending the key schema is allowed only in ways that leave default
+//! and legacy configurations hashing exactly as before: hash a new
+//! field *append-only*, contributing nothing in its default state (the
+//! `MetadataOrg::PrivatePerCore` arm of `hash_tifs_config`, and before
+//! it the `ExecMode` discriminants that still hash as the pre-contention
+//! bool). Update these pins only with a deliberate, store-invalidating
+//! key-format bump, and say so in the commit.
+
+use tifs_core::{MetadataOrg, TifsConfig};
+use tifs_experiments::engine::{report_key, ExecMode, SystemSpec};
+use tifs_experiments::harness::{ExpConfig, SystemKind};
+use tifs_sim::config::SystemConfig;
+use tifs_trace::workload::WorkloadSpec;
+
+fn pin_exp() -> ExpConfig {
+    ExpConfig {
+        instructions: 60_000,
+        warmup: 60_000,
+        seed: 42,
+    }
+}
+
+struct Pin {
+    label: &'static str,
+    spec: fn() -> WorkloadSpec,
+    system: fn() -> SystemSpec,
+    mode: ExecMode,
+    key: u128,
+}
+
+fn ablated() -> SystemSpec {
+    SystemSpec::tifs(
+        "no EOS",
+        TifsConfig {
+            end_of_stream: false,
+            ..TifsConfig::virtualized()
+        },
+    )
+}
+
+/// Keys minted by the pre-`MetadataOrg` schema, covering the coupled,
+/// plain-sharded, and contended address spaces over named kinds, an
+/// ablation `TifsConfig`, and a payload-carrying probabilistic kind.
+const PINS: &[Pin] = &[
+    Pin {
+        label: "web_zeus/next-line/coupled",
+        spec: WorkloadSpec::web_zeus,
+        system: || SystemSpec::Kind(SystemKind::NextLine),
+        mode: ExecMode::Coupled,
+        key: 0x72e4_a7d9_20d0_d473_6157_eec7_af05_aefa,
+    },
+    Pin {
+        label: "web_zeus/tifs-virtualized/coupled",
+        spec: WorkloadSpec::web_zeus,
+        system: || SystemSpec::Kind(SystemKind::TifsVirtualized),
+        mode: ExecMode::Coupled,
+        key: 0x9010_c99d_be23_aa62_33b4_4185_100c_49bf,
+    },
+    Pin {
+        label: "web_zeus/tifs-virtualized/sharded",
+        spec: WorkloadSpec::web_zeus,
+        system: || SystemSpec::Kind(SystemKind::TifsVirtualized),
+        mode: ExecMode::Sharded,
+        key: 0x4c97_9b31_2623_aa5c_f272_ee04_4c88_55de,
+    },
+    Pin {
+        label: "web_zeus/tifs-virtualized/contended",
+        spec: WorkloadSpec::web_zeus,
+        system: || SystemSpec::Kind(SystemKind::TifsVirtualized),
+        mode: ExecMode::ShardedContended,
+        key: 0x4dc9_cc3c_6b0a_eb3e_8a2b_d830_b2e0_1abe,
+    },
+    Pin {
+        label: "oltp_db2/ablation-no-eos/coupled",
+        spec: WorkloadSpec::oltp_db2,
+        system: ablated,
+        mode: ExecMode::Coupled,
+        key: 0x1e21_aab5_a427_1e07_8fe0_84d9_5c44_111d,
+    },
+    Pin {
+        label: "oltp_db2/probabilistic-25/coupled",
+        spec: WorkloadSpec::oltp_db2,
+        system: || SystemSpec::Kind(SystemKind::Probabilistic(0.25)),
+        mode: ExecMode::Coupled,
+        key: 0x7ca1_48af_c1ac_9eeb_42b6_2641_47c9_dda0,
+    },
+    Pin {
+        label: "tiny_test/tifs-dedicated/sharded",
+        spec: WorkloadSpec::tiny_test,
+        system: || SystemSpec::Kind(SystemKind::TifsDedicated),
+        mode: ExecMode::Sharded,
+        key: 0x4402_97da_a33d_29b1_d27d_10c3_4a95_3b90,
+    },
+];
+
+#[test]
+fn pre_sharing_axis_keys_are_unchanged() {
+    let exp = pin_exp();
+    let sys = SystemConfig::table2();
+    let mut drifted = Vec::new();
+    for pin in PINS {
+        let key = report_key(
+            &(pin.spec)(),
+            exp.seed,
+            &(pin.system)(),
+            &exp,
+            &sys,
+            pin.mode,
+        );
+        if key.0 != pin.key {
+            drifted.push(format!(
+                "{}: 0x{:032x} (pinned 0x{:032x})",
+                pin.label, key.0, pin.key
+            ));
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "report_key drifted from its pre-MetadataOrg pins — every persistent \
+         report store in the wild just went cold. Extend the key schema \
+         append-only (defaults hash as before) or bump the format \
+         deliberately and update these pins:\n  {}",
+        drifted.join("\n  ")
+    );
+}
+
+#[test]
+fn explicit_private_org_hashes_as_the_legacy_default() {
+    // `TifsConfig::virtualized()` now carries `MetadataOrg::PrivatePerCore`
+    // explicitly; its key must still be the pre-axis ablation key (the
+    // pinned `no EOS` cell exercises exactly this path).
+    let exp = pin_exp();
+    let sys = SystemConfig::table2();
+    let explicit = SystemSpec::tifs(
+        "relabelled",
+        TifsConfig {
+            end_of_stream: false,
+            metadata: MetadataOrg::PrivatePerCore,
+            ..TifsConfig::virtualized()
+        },
+    );
+    let key = report_key(
+        &WorkloadSpec::oltp_db2(),
+        exp.seed,
+        &explicit,
+        &exp,
+        &sys,
+        ExecMode::Coupled,
+    );
+    assert_eq!(key.0, 0x1e21_aab5_a427_1e07_8fe0_84d9_5c44_111d);
+}
+
+#[test]
+fn shared_orgs_address_disjoint_content_from_every_pin() {
+    let exp = pin_exp();
+    let sys = SystemConfig::table2();
+    for org in [
+        MetadataOrg::shared_quota(0),
+        MetadataOrg::shared_quota(1),
+        MetadataOrg::shared_pool(1),
+    ] {
+        let shared = SystemSpec::tifs(
+            "shared",
+            TifsConfig {
+                metadata: org,
+                ..TifsConfig::virtualized()
+            },
+        );
+        for mode in [
+            ExecMode::Coupled,
+            ExecMode::Sharded,
+            ExecMode::ShardedContended,
+        ] {
+            let key = report_key(
+                &WorkloadSpec::web_zeus(),
+                exp.seed,
+                &shared,
+                &exp,
+                &sys,
+                mode,
+            );
+            for pin in PINS {
+                assert_ne!(
+                    key.0, pin.key,
+                    "{org:?}/{mode:?} must not collide with pin {}",
+                    pin.label
+                );
+            }
+        }
+    }
+}

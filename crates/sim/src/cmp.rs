@@ -114,6 +114,13 @@ impl<'a> Cmp<'a> {
     }
 
     /// Advances the whole system one cycle.
+    ///
+    /// Cores are stepped in fixed ascending core order, and the
+    /// prefetcher tick follows them, every cycle. Shared structures that
+    /// arbitrate between cores within a cycle (the L2 banks, and the
+    /// shared-metadata ports of [`MetadataPorts`](crate::metadata::MetadataPorts))
+    /// inherit that order as their arbitration order, which is what keeps
+    /// contended runs bit-reproducible at any host thread count.
     pub fn tick(&mut self) {
         for core in &mut self.cores {
             core.tick(self.now, &mut self.l2, self.pf.as_mut());

@@ -14,6 +14,8 @@
 //! * [`cmp`] — the whole chip, stepped cycle by cycle;
 //! * [`prefetch`] — the [`IPrefetcher`] interface
 //!   TIFS and the baselines implement;
+//! * [`metadata`] — port arbitration for chip-shared prefetcher
+//!   metadata (the sharing-study timing model);
 //! * [`miss_trace`](mod@miss_trace) — the functional fetch model producing the L1-I miss
 //!   traces the opportunity analyses consume;
 //! * [`stats`] — per-core and whole-run reports.
@@ -42,6 +44,7 @@ pub mod cmp;
 pub mod config;
 pub mod core;
 pub mod l2;
+pub mod metadata;
 pub mod miss_trace;
 pub mod prefetch;
 pub mod stats;
@@ -49,6 +52,7 @@ pub mod stats;
 pub use cmp::Cmp;
 pub use config::SystemConfig;
 pub use l2::{L2ReqKind, L2Response, L2Stats, L2};
+pub use metadata::MetadataPorts;
 pub use miss_trace::{miss_trace, miss_trace_with_model, FunctionalFetchModel};
 pub use prefetch::{IPrefetcher, NullPrefetcher, PrefetchCtx};
 pub use stats::{CoreStats, SimReport};

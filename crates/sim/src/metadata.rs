@@ -1,0 +1,150 @@
+//! Shared-metadata port arbitration (the timing half of the
+//! MANA/Triangel-style metadata-sharing axis).
+//!
+//! When a chip's temporal-prefetch metadata (Index Table front end +
+//! history storage) is one shared structure instead of per-core copies,
+//! cores contend for its access ports. [`MetadataPorts`] models that
+//! contention as a per-cycle port budget: every metadata operation
+//! (index lookup/update, history append, history group read) claims a
+//! port slot in its issue cycle, and an operation finding the ports
+//! saturated by *other* cores' traffic is delayed by one cycle per
+//! `ways` prior foreign operations.
+//!
+//! Two properties the equivalence suite relies on:
+//!
+//! * **cross-core only** — a core is never delayed by its own traffic
+//!   (a private structure has as many ports as its one core can drive;
+//!   the sharing penalty is the *other* cores' traffic), so a 1-core
+//!   shared organization times exactly like the private one;
+//! * **deterministic arbitration** — the arbiter has no internal queue
+//!   or randomness; its outcome depends only on the order operations
+//!   are presented, and [`Cmp::tick`](crate::cmp::Cmp::tick) presents
+//!   them in fixed core order every cycle, so runs are bit-reproducible
+//!   at any thread count.
+
+/// A shared metadata structure's port arbiter.
+///
+/// `ways == 0` means unlimited ports (zero contention): every access is
+/// served immediately and no counters move. This is also the correct
+/// setting for private per-core metadata, where the arbiter exists only
+/// so the prefetcher has one uniform code path.
+#[derive(Clone, Debug)]
+pub struct MetadataPorts {
+    ways: usize,
+    cycle: u64,
+    issued: Vec<u32>,
+    conflicts: u64,
+    wait_cycles: u64,
+}
+
+impl MetadataPorts {
+    /// Creates an arbiter for `num_cores` cores with `ways` ports per
+    /// cycle (`0` = unlimited).
+    pub fn new(num_cores: usize, ways: usize) -> MetadataPorts {
+        MetadataPorts {
+            ways,
+            cycle: 0,
+            issued: vec![0; num_cores],
+            conflicts: 0,
+            wait_cycles: 0,
+        }
+    }
+
+    /// Port ways per cycle (`0` = unlimited).
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Records one metadata operation by `core` at cycle `now` and
+    /// returns the cross-core port delay in cycles: the number of
+    /// operations *other* cores already issued this cycle, divided by
+    /// the port count. Unlimited arbiters (`ways == 0`) and sole users
+    /// of a cycle are never delayed.
+    pub fn access(&mut self, now: u64, core: usize) -> u64 {
+        if now != self.cycle {
+            self.cycle = now;
+            self.issued.iter_mut().for_each(|n| *n = 0);
+        }
+        let foreign: u32 = self
+            .issued
+            .iter()
+            .enumerate()
+            .filter(|&(c, _)| c != core)
+            .map(|(_, &n)| n)
+            .sum();
+        self.issued[core] += 1;
+        if self.ways == 0 {
+            return 0;
+        }
+        let delay = u64::from(foreign) / self.ways as u64;
+        if delay > 0 {
+            self.conflicts += 1;
+            self.wait_cycles += delay;
+        }
+        delay
+    }
+
+    /// (delayed operations, total delay cycles) since the last reset.
+    pub fn contention(&self) -> (u64, u64) {
+        (self.conflicts, self.wait_cycles)
+    }
+
+    /// Zeroes the contention counters (warmup discard); the in-cycle
+    /// port state is preserved.
+    pub fn reset_counters(&mut self) {
+        self.conflicts = 0;
+        self.wait_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_ports_never_delay_or_count() {
+        let mut p = MetadataPorts::new(4, 0);
+        for core in 0..4 {
+            for _ in 0..10 {
+                assert_eq!(p.access(7, core), 0);
+            }
+        }
+        assert_eq!(p.contention(), (0, 0));
+    }
+
+    #[test]
+    fn single_core_is_never_delayed() {
+        let mut p = MetadataPorts::new(1, 1);
+        for now in 0..5 {
+            for _ in 0..6 {
+                assert_eq!(p.access(now, 0), 0, "own traffic must not self-delay");
+            }
+        }
+        assert_eq!(p.contention(), (0, 0));
+    }
+
+    #[test]
+    fn foreign_traffic_delays_by_way_count() {
+        let mut p = MetadataPorts::new(3, 2);
+        // Core 0 issues three ops; core 1's first op sees 3 foreign ops
+        // over 2 ways = 1 cycle of delay, core 2's first sees 4 / 2 = 2.
+        assert_eq!(p.access(10, 0), 0);
+        assert_eq!(p.access(10, 0), 0);
+        assert_eq!(p.access(10, 0), 0);
+        assert_eq!(p.access(10, 1), 1);
+        assert_eq!(p.access(10, 2), 2);
+        assert_eq!(p.contention(), (2, 3));
+        // A new cycle clears the slate.
+        assert_eq!(p.access(11, 1), 0);
+    }
+
+    #[test]
+    fn reset_preserves_cycle_state() {
+        let mut p = MetadataPorts::new(2, 1);
+        assert_eq!(p.access(4, 0), 0);
+        p.reset_counters();
+        assert_eq!(p.contention(), (0, 0));
+        // The op issued at cycle 4 still occupies its port slot.
+        assert_eq!(p.access(4, 1), 1);
+    }
+}
