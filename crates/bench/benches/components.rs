@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 use tifs_bench::{bench_records, bench_symbols, bench_workload};
+use tifs_core::iml::{Iml, ENTRIES_PER_L2_BLOCK};
 use tifs_core::{FunctionalConfig, FunctionalTifs};
 use tifs_sequitur::{LceIndex, Sequitur};
 use tifs_sim::bpred::HybridPredictor;
@@ -60,6 +61,70 @@ fn bench_cache(c: &mut Criterion) {
             if !cache.access(blk) {
                 cache.insert(blk);
             }
+        })
+    });
+    g.finish();
+}
+
+fn bench_l2_directory(c: &mut Criterion) {
+    // The shared L2 instruction directory at its real geometry (8 MB,
+    // 16-way): the structure every instruction-side L2 request probes.
+    let mut g = c.benchmark_group("l2dir");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("probe_insert", |b| {
+        let mut dir = SetAssocCache::new(8 * 1024 * 1024, 16);
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // ~2x the capacity in live blocks: every set stays full, so
+            // misses evict — the steady state of a warmed-up run.
+            let blk = BlockAddr(x % (256 * 1024));
+            if !dir.access(blk) {
+                dir.insert(blk);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_iml(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iml");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("append_wrapping", |b| {
+        // Bounded at the paper's 8K entries/core; appends wrap from the
+        // start, exercising the ring's overwrite path.
+        let mut iml = Iml::new(Some(8192));
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            iml.append(BlockAddr(x % 4096), x & 1 == 0)
+        })
+    });
+    g.bench_function("read_group", |b| {
+        let mut iml = Iml::new(Some(8192));
+        for i in 0..16_384u64 {
+            iml.append(BlockAddr(i % 4096), false);
+        }
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // A valid position in the retained window, any alignment.
+            let pos = iml.next_pos() - 1 - (x % 8191);
+            iml.read_group(pos, ENTRIES_PER_L2_BLOCK).len()
+        })
+    });
+    g.bench_function("append_evict_oldest", |b| {
+        // The shared-pool steady state: every append is paired with a
+        // globally-triggered eviction.
+        let mut iml = Iml::new(None);
+        for i in 0..8192u64 {
+            iml.append(BlockAddr(i % 4096), false);
+        }
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            iml.append(BlockAddr(x % 4096), false);
+            iml.evict_oldest()
         })
     });
     g.finish();
@@ -189,6 +254,8 @@ criterion_group!(
     bench_sequitur,
     bench_suffix,
     bench_cache,
+    bench_l2_directory,
+    bench_iml,
     bench_bpred,
     bench_walker,
     bench_codec,

@@ -13,8 +13,6 @@
 //! (paper Section 5.2.2); the prefetcher issues that traffic, while this
 //! structure models the contents.
 
-use std::collections::VecDeque;
-
 use tifs_trace::BlockAddr;
 
 /// Entries per 64-byte L2 block (twelve recorded miss addresses).
@@ -39,11 +37,17 @@ pub struct ImlEntry {
     pub svb_hit: bool,
 }
 
-/// A single core's instruction miss log.
+/// A single core's instruction miss log: a flat ring over a power-of-two
+/// slab, indexed by absolute position. The retained window `[base,
+/// appended)` never exceeds the slab, so the entry for position `p`
+/// always lives at slot `p & mask` — appends are one slot write,
+/// [`Iml::evict_oldest`] is one pointer bump, and [`Iml::read_group`] is
+/// at most two contiguous copies (the group may straddle the wrap).
 #[derive(Clone, Debug)]
 pub struct Iml {
-    entries: VecDeque<ImlEntry>,
-    /// Absolute position of `entries\[0\]`.
+    /// Power-of-two slab; position `p` lives at `buf[p & mask]`.
+    buf: Vec<ImlEntry>,
+    /// Absolute position of the oldest retained entry.
     base: u64,
     /// Total entries ever appended (= absolute position of next append).
     appended: u64,
@@ -51,53 +55,82 @@ pub struct Iml {
     capacity: Option<usize>,
 }
 
+/// Filler for never-written slots (dead space; `[base, appended)` gates
+/// every read).
+const VACANT: ImlEntry = ImlEntry {
+    block: BlockAddr(0),
+    svb_hit: false,
+};
+
 impl Iml {
     /// Creates a log retaining `capacity` entries (`None` = unbounded).
     pub fn new(capacity: Option<usize>) -> Iml {
         if let Some(c) = capacity {
             assert!(c >= ENTRIES_PER_L2_BLOCK, "capacity too small: {c}");
         }
+        // Bounded logs size their slab once; unbounded ones start small
+        // and double on demand.
+        let slots = capacity.map_or(16, usize::next_power_of_two);
         Iml {
-            entries: VecDeque::new(),
+            buf: vec![VACANT; slots],
             base: 0,
             appended: 0,
             capacity,
         }
     }
 
+    #[inline]
+    fn mask(&self) -> u64 {
+        self.buf.len() as u64 - 1
+    }
+
     /// Appends one miss; returns its absolute position.
     pub fn append(&mut self, block: BlockAddr, svb_hit: bool) -> u64 {
         let pos = self.appended;
-        self.entries.push_back(ImlEntry { block, svb_hit });
+        if self.capacity.is_none() && self.len() == self.buf.len() {
+            self.grow();
+        }
+        let m = self.mask();
+        self.buf[(pos & m) as usize] = ImlEntry { block, svb_hit };
         self.appended += 1;
         if let Some(c) = self.capacity {
-            while self.entries.len() > c {
-                self.entries.pop_front();
-                self.base += 1;
-            }
+            // At most one entry falls off per append; overwriting its
+            // slot (when the slab is exactly `capacity`) is harmless —
+            // it was the one being evicted.
+            self.base = self.base.max(self.appended.saturating_sub(c as u64));
         }
         pos
     }
 
+    fn grow(&mut self) {
+        let new_slots = self.buf.len() * 2;
+        let mut new_buf = vec![VACANT; new_slots];
+        let (old_m, new_m) = (self.mask(), new_slots as u64 - 1);
+        for p in self.base..self.appended {
+            new_buf[(p & new_m) as usize] = self.buf[(p & old_m) as usize];
+        }
+        self.buf = new_buf;
+    }
+
     /// The entry at absolute position `pos`, if still retained.
     pub fn get(&self, pos: u64) -> Option<ImlEntry> {
-        if pos < self.base || pos >= self.appended {
-            return None;
-        }
-        self.entries.get((pos - self.base) as usize).copied()
+        self.is_valid(pos)
+            .then(|| self.buf[(pos & self.mask()) as usize])
     }
 
     /// Reads up to `n` consecutive entries starting at `pos` (one
     /// virtualized group read). Returns fewer when the log ends or `pos`
     /// has been overwritten.
     pub fn read_group(&self, pos: u64, n: usize) -> Vec<ImlEntry> {
-        let mut out = Vec::with_capacity(n);
-        for i in 0..n as u64 {
-            match self.get(pos + i) {
-                Some(e) => out.push(e),
-                None => break,
-            }
+        if !self.is_valid(pos) {
+            return Vec::new();
         }
+        let count = ((pos + n as u64).min(self.appended) - pos) as usize;
+        let start = (pos & self.mask()) as usize;
+        let first = count.min(self.buf.len() - start);
+        let mut out = Vec::with_capacity(count);
+        out.extend_from_slice(&self.buf[start..start + first]);
+        out.extend_from_slice(&self.buf[..count - first]);
         out
     }
 
@@ -106,7 +139,10 @@ impl Iml {
     /// organization evicts the *globally* oldest entry across cores,
     /// which a log's own capacity bound cannot express).
     pub fn evict_oldest(&mut self) -> Option<ImlEntry> {
-        let e = self.entries.pop_front()?;
+        if self.base == self.appended {
+            return None;
+        }
+        let e = self.buf[(self.base & self.mask()) as usize];
         self.base += 1;
         Some(e)
     }
@@ -123,12 +159,12 @@ impl Iml {
 
     /// Currently retained entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        (self.appended - self.base) as usize
     }
 
     /// Returns `true` if nothing has been retained.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.base == self.appended
     }
 }
 

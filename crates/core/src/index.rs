@@ -14,12 +14,11 @@
 //! The embedding mechanics (drop decisions, eviction notifications) are
 //! driven by the prefetcher; this structure records the consequences.
 
-use std::collections::HashMap;
-
+use tifs_sim::collections::BlockMap;
 use tifs_trace::BlockAddr;
 
 /// A pointer into one core's IML.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ImlPtr {
     /// Which core's IML the address was logged in.
     pub core: u8,
@@ -40,7 +39,7 @@ pub enum IndexKind {
 /// The shared Index Table.
 #[derive(Clone, Debug)]
 pub struct IndexTable {
-    map: HashMap<BlockAddr, ImlPtr>,
+    map: BlockMap<ImlPtr>,
     kind: IndexKind,
     updates: u64,
     dropped_updates: u64,
@@ -51,7 +50,7 @@ impl IndexTable {
     /// Creates an empty table of the given organization.
     pub fn new(kind: IndexKind) -> IndexTable {
         IndexTable {
-            map: HashMap::new(),
+            map: BlockMap::new(),
             kind,
             updates: 0,
             dropped_updates: 0,
@@ -66,7 +65,7 @@ impl IndexTable {
 
     /// Most recent logged occurrence of `block`, if indexed.
     pub fn lookup(&self, block: BlockAddr) -> Option<ImlPtr> {
-        self.map.get(&block).copied()
+        self.map.get(block)
     }
 
     /// Points `block` at a fresh IML position. `applied` is false when the
@@ -84,7 +83,7 @@ impl IndexTable {
 
     /// L2 evicted `block`: an embedded pointer dies with its tag.
     pub fn on_l2_evict(&mut self, block: BlockAddr) {
-        if self.kind == IndexKind::Embedded && self.map.remove(&block).is_some() {
+        if self.kind == IndexKind::Embedded && self.map.remove(block).is_some() {
             self.invalidations += 1;
         }
     }

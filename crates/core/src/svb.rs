@@ -7,9 +7,9 @@
 //! pause state. The buffer doubles as a reorder window that tolerates
 //! small deviations in stream order (paper Section 5.2.1).
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
+use tifs_sim::collections::FillQueue;
 use tifs_trace::BlockAddr;
 
 use crate::iml::ImlEntry;
@@ -73,7 +73,8 @@ impl StreamCtx {
 #[derive(Clone, Debug)]
 pub struct Svb {
     buffer: Vec<BufEntry>,
-    inflight: HashMap<BlockAddr, BufEntry>,
+    /// In-flight stream prefetches, carrying `(stream, generation)`.
+    inflight: FillQueue<(u8, u64)>,
     streams: Vec<StreamCtx>,
     capacity: usize,
     hits: u64,
@@ -87,7 +88,7 @@ impl Svb {
         assert!(capacity > 0 && stream_contexts > 0);
         Svb {
             buffer: Vec::with_capacity(capacity),
-            inflight: HashMap::new(),
+            inflight: FillQueue::new(),
             streams: (0..stream_contexts).map(|_| StreamCtx::idle()).collect(),
             capacity,
             hits: 0,
@@ -103,7 +104,14 @@ impl Svb {
         let found = if let Some(pos) = self.buffer.iter().position(|e| e.block == block) {
             Some(self.buffer.remove(pos))
         } else {
-            self.inflight.remove(&block)
+            self.inflight
+                .remove(block)
+                .map(|(ready, (stream, generation))| BufEntry {
+                    block,
+                    ready,
+                    stream,
+                    generation,
+                })
         };
         let e = found?;
         self.hits += 1;
@@ -122,42 +130,34 @@ impl Svb {
 
     /// Whether `block` is buffered or in flight (duplicate-issue filter).
     pub fn holds(&self, block: BlockAddr) -> bool {
-        self.inflight.contains_key(&block) || self.buffer.iter().any(|e| e.block == block)
+        self.inflight.contains(block) || self.buffer.iter().any(|e| e.block == block)
     }
 
     /// Records an issued stream prefetch.
     pub fn note_inflight(&mut self, block: BlockAddr, ready: u64, stream: u8) {
         let generation = self.streams[stream as usize].generation;
-        self.inflight.insert(
-            block,
-            BufEntry {
-                block,
-                ready,
-                stream,
-                generation,
-            },
-        );
+        self.inflight.insert(ready, block, (stream, generation));
     }
 
     /// Moves arrived prefetches into the buffer; evictions of never-used
     /// blocks count as discards (paper Section 6.4).
     pub fn drain_arrivals(&mut self, now: u64) {
-        // Arrival order (ties by address): the buffer is LRU-ordered, so
-        // draining in HashMap order would make evictions nondeterministic.
-        let mut done: Vec<(u64, BlockAddr)> = self
-            .inflight
-            .iter()
-            .filter(|&(_, e)| e.ready <= now)
-            .map(|(&b, e)| (e.ready, b))
-            .collect();
-        done.sort_unstable_by_key(|&(r, b)| (r, b.0));
-        for (_, b) in done {
-            let e = self.inflight.remove(&b).expect("present");
+        // The buffer is LRU-ordered, so arrival order decides evictions;
+        // the fill queue pops in (ready, address) order structurally.
+        while let Some((ready, block, (stream, generation))) = self.inflight.pop_ready(now) {
             if self.buffer.len() == self.capacity {
                 self.buffer.pop();
                 self.discards += 1;
             }
-            self.buffer.insert(0, e);
+            self.buffer.insert(
+                0,
+                BufEntry {
+                    block,
+                    ready,
+                    stream,
+                    generation,
+                },
+            );
         }
     }
 
@@ -168,7 +168,14 @@ impl Svb {
         let entry = if let Some(pos) = self.buffer.iter().position(|e| e.block == block) {
             Some(self.buffer.remove(pos))
         } else {
-            self.inflight.remove(&block)
+            self.inflight
+                .remove(block)
+                .map(|(ready, (stream, generation))| BufEntry {
+                    block,
+                    ready,
+                    stream,
+                    generation,
+                })
         };
         let Some(e) = entry else { return };
         self.discards += 1;
@@ -188,10 +195,14 @@ impl Svb {
     pub fn outstanding(&self, sid: u8) -> usize {
         let generation = self.streams[sid as usize].generation;
         self.inflight
-            .values()
-            .chain(self.buffer.iter())
-            .filter(|e| e.stream == sid && e.generation == generation)
+            .iter()
+            .filter(|&&(_, _, (s, g))| s == sid && g == generation)
             .count()
+            + self
+                .buffer
+                .iter()
+                .filter(|e| e.stream == sid && e.generation == generation)
+                .count()
     }
 
     /// Allocates a stream context (LRU victim), returning its id. Leftover

@@ -22,10 +22,27 @@ pub struct ExpConfig {
 }
 
 impl Default for ExpConfig {
+    /// Default budgets follow the `TIFS_SCALE` profile knob:
+    ///
+    /// * `step` (or unset) — 2M measured + 2M warmup instructions per
+    ///   core, one notch toward the paper's full-scale methodology.
+    ///   The measured budget deliberately equals
+    ///   [`CALIBRATION_INSTRUCTIONS`](crate::calibration::CALIBRATION_INSTRUCTIONS),
+    ///   so a default `calibrate` run checks the Table I bands at
+    ///   exactly the scale default experiments run at.
+    /// * `base` — the historical 1M/1M budgets.
+    ///
+    /// Anything that must stay pinned across profiles (goldens, CI
+    /// evaluation runs, benches) passes explicit budgets and never sees
+    /// this knob.
     fn default() -> Self {
+        let (instructions, warmup) = match std::env::var("TIFS_SCALE").as_deref() {
+            Ok("base") => (1_000_000, 1_000_000),
+            _ => (2_000_000, 2_000_000),
+        };
         ExpConfig {
-            instructions: 1_000_000,
-            warmup: 1_000_000,
+            instructions,
+            warmup,
             seed: 42,
         }
     }

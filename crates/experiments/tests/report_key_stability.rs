@@ -15,10 +15,12 @@
 //! key-format bump, and say so in the commit.
 
 use tifs_core::{MetadataOrg, TifsConfig};
-use tifs_experiments::engine::{report_key, ExecMode, SystemSpec};
+use tifs_experiments::engine::{
+    report_key, run_cell, run_cell_sharded, run_cell_sharded_contended, ExecMode, SystemSpec,
+};
 use tifs_experiments::harness::{ExpConfig, SystemKind};
 use tifs_sim::config::SystemConfig;
-use tifs_trace::workload::WorkloadSpec;
+use tifs_trace::workload::{Workload, WorkloadSpec};
 
 fn pin_exp() -> ExpConfig {
     ExpConfig {
@@ -156,6 +158,154 @@ fn explicit_private_org_hashes_as_the_legacy_default() {
         ExecMode::Coupled,
     );
     assert_eq!(key.0, 0x1e21_aab5_a427_1e07_8fe0_84d9_5c44_111d);
+}
+
+// ---------------------------------------------------------------------------
+// SimReport byte pins — the canonical bytes behind the keys.
+// ---------------------------------------------------------------------------
+//
+// Key stability alone is not enough: a warm store only stays *correct* if
+// the bytes a key addresses are reproduced bit-for-bit by the current
+// simulator. The FNV-1a fingerprints below were captured from the tree
+// immediately before the hot-structure overhaul (open-addressed indexes,
+// ring IMLs, structural drain queues) landed; every cell here must keep
+// hashing to the same value, proving the overhaul changed the cost of the
+// simulation and not its content. Budgets are deliberately small so the
+// suite stays cheap in debug runs — every hot structure is still
+// exercised (fill queues, L2 directory, index table, IMLs, SVBs,
+// shared-pool stamps, the sharded merge, and the contention replay).
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn byte_exp() -> ExpConfig {
+    ExpConfig {
+        instructions: 12_000,
+        warmup: 12_000,
+        seed: 42,
+    }
+}
+
+fn shared_pool() -> SystemSpec {
+    SystemSpec::tifs(
+        "shared-pool",
+        TifsConfig {
+            metadata: MetadataOrg::shared_pool(1),
+            ..TifsConfig::virtualized()
+        },
+    )
+}
+
+struct BytePin {
+    label: &'static str,
+    spec: fn() -> WorkloadSpec,
+    system: fn() -> SystemSpec,
+    mode: ExecMode,
+    fnv: u64,
+}
+
+const BYTE_PINS: &[BytePin] = &[
+    BytePin {
+        label: "web_zeus/next-line/coupled",
+        spec: WorkloadSpec::web_zeus,
+        system: || SystemSpec::Kind(SystemKind::NextLine),
+        mode: ExecMode::Coupled,
+        fnv: 0x579b_3738_f0ad_862a,
+    },
+    BytePin {
+        label: "web_zeus/fdip/coupled",
+        spec: WorkloadSpec::web_zeus,
+        system: || SystemSpec::Kind(SystemKind::Fdip),
+        mode: ExecMode::Coupled,
+        fnv: 0x284a_796b_1037_2b65,
+    },
+    BytePin {
+        label: "oltp_db2/discontinuity/coupled",
+        spec: WorkloadSpec::oltp_db2,
+        system: || SystemSpec::Kind(SystemKind::Discontinuity),
+        mode: ExecMode::Coupled,
+        fnv: 0xd504_6722_78ae_138c,
+    },
+    BytePin {
+        label: "oltp_db2/tifs-virtualized/coupled",
+        spec: WorkloadSpec::oltp_db2,
+        system: || SystemSpec::Kind(SystemKind::TifsVirtualized),
+        mode: ExecMode::Coupled,
+        fnv: 0x8f2d_9eb6_e563_b0bb,
+    },
+    BytePin {
+        label: "dss_qry2/tifs-dedicated/coupled",
+        spec: WorkloadSpec::dss_qry2,
+        system: || SystemSpec::Kind(SystemKind::TifsDedicated),
+        mode: ExecMode::Coupled,
+        fnv: 0x2150_c656_ae8c_db92,
+    },
+    BytePin {
+        label: "web_zeus/tifs-unbounded/coupled",
+        spec: WorkloadSpec::web_zeus,
+        system: || SystemSpec::Kind(SystemKind::TifsUnbounded),
+        mode: ExecMode::Coupled,
+        fnv: 0x4804_4d28_6c8c_1382,
+    },
+    BytePin {
+        label: "web_zeus/tifs-virtualized/sharded",
+        spec: WorkloadSpec::web_zeus,
+        system: || SystemSpec::Kind(SystemKind::TifsVirtualized),
+        mode: ExecMode::Sharded,
+        fnv: 0x4a8b_c73c_c398_e8a3,
+    },
+    BytePin {
+        label: "web_zeus/tifs-virtualized/contended",
+        spec: WorkloadSpec::web_zeus,
+        system: || SystemSpec::Kind(SystemKind::TifsVirtualized),
+        mode: ExecMode::ShardedContended,
+        fnv: 0x7c3c_0c23_3f3d_7bd8,
+    },
+    BytePin {
+        label: "oltp_db2/shared-pool/coupled",
+        spec: WorkloadSpec::oltp_db2,
+        system: shared_pool,
+        mode: ExecMode::Coupled,
+        fnv: 0xdd78_27cb_7370_15e8,
+    },
+];
+
+#[test]
+fn pre_overhaul_report_bytes_are_unchanged() {
+    let exp = byte_exp();
+    let sys = SystemConfig::table2();
+    let mut drifted = Vec::new();
+    for pin in BYTE_PINS {
+        let workload = Workload::build(&(pin.spec)(), exp.seed);
+        let system = (pin.system)();
+        let report = match pin.mode {
+            ExecMode::Coupled => run_cell(&workload, &system, &exp, &sys),
+            ExecMode::Sharded => run_cell_sharded(&workload, &system, &exp, &sys, 2),
+            ExecMode::ShardedContended => {
+                run_cell_sharded_contended(&workload, &system, &exp, &sys, 2)
+            }
+        };
+        let fnv = fnv64(&report.to_canonical_bytes());
+        if fnv != pin.fnv {
+            drifted.push(format!(
+                "{}: 0x{:016x} (pinned 0x{:016x})",
+                pin.label, fnv, pin.fnv
+            ));
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "SimReport canonical bytes drifted from their pre-overhaul pins — \
+         warm stores would now serve reports the current simulator cannot \
+         reproduce. A structural change leaked into simulated behavior:\n  {}",
+        drifted.join("\n  ")
+    );
 }
 
 #[test]

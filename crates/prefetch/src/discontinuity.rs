@@ -10,8 +10,7 @@
 //! implementation serves as an extra baseline for the Figure 13
 //! comparison.
 
-use std::collections::HashMap;
-
+use tifs_sim::collections::FillQueue;
 use tifs_sim::l2::L2ReqKind;
 use tifs_sim::prefetch::{FetchKind, IPrefetcher, PrefetchCtx};
 use tifs_trace::{BlockAddr, FetchRecord};
@@ -44,7 +43,7 @@ struct DiscCore {
     table: Vec<Option<(BlockAddr, BlockAddr)>>,
     last_block: Option<BlockAddr>,
     buffer: PrefetchBuffer,
-    inflight: HashMap<BlockAddr, u64>,
+    inflight: FillQueue,
     issued: u64,
     supplied: u64,
 }
@@ -55,7 +54,7 @@ impl DiscCore {
             table: vec![None; cfg.table_entries],
             last_block: None,
             buffer: PrefetchBuffer::new(cfg.buffer_blocks),
-            inflight: HashMap::new(),
+            inflight: FillQueue::new(),
             issued: 0,
             supplied: 0,
         }
@@ -121,9 +120,9 @@ impl IPrefetcher for DiscontinuityPrefetcher {
         if let Some(target) = core.lookup(block) {
             for d in 0..=target_depth {
                 let b = target.offset(d);
-                if !core.buffer.contains(b) && !core.inflight.contains_key(&b) {
+                if !core.buffer.contains(b) && !core.inflight.contains(b) {
                     if let Some(resp) = ctx.l2.request(ctx.now, b, L2ReqKind::IPrefetch, None) {
-                        core.inflight.insert(b, resp.ready);
+                        core.inflight.insert(resp.ready, b, ());
                         core.issued += 1;
                     }
                 }
@@ -137,7 +136,7 @@ impl IPrefetcher for DiscontinuityPrefetcher {
             core.supplied += 1;
             return Some(ready.max(ctx.now));
         }
-        if let Some(ready) = core.inflight.remove(&block) {
+        if let Some((ready, ())) = core.inflight.remove(block) {
             core.supplied += 1;
             return Some(ready.max(ctx.now));
         }
@@ -146,17 +145,9 @@ impl IPrefetcher for DiscontinuityPrefetcher {
 
     fn tick(&mut self, ctx: &mut PrefetchCtx<'_>) {
         for core in &mut self.cores {
-            // Arrival order (ties by address): the buffer is LRU-ordered,
-            // so a HashMap-ordered drain would be nondeterministic.
-            let mut done: Vec<(u64, BlockAddr)> = core
-                .inflight
-                .iter()
-                .filter(|&(_, &r)| r <= ctx.now)
-                .map(|(&b, &r)| (r, b))
-                .collect();
-            done.sort_unstable_by_key(|&(r, b)| (r, b.0));
-            for (_, b) in done {
-                let r = core.inflight.remove(&b).expect("present");
+            // The buffer is LRU-ordered, so arrival order matters; the
+            // fill queue pops in (ready, address) order structurally.
+            while let Some((r, b, ())) = core.inflight.pop_ready(ctx.now) {
                 core.buffer.insert(b, r);
             }
         }

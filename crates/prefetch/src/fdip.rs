@@ -14,11 +14,11 @@
 //! PC — the restart cost that limits FDIP on hammock-heavy code (paper
 //! Section 3.2).
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use tifs_sim::bpred::{HybridPredictor, ReturnAddressStack, TargetBuffer};
 use tifs_sim::cache::SetAssocCache;
+use tifs_sim::collections::FillQueue;
 use tifs_sim::l2::L2ReqKind;
 use tifs_sim::prefetch::{FetchKind, IPrefetcher, PrefetchCtx};
 use tifs_trace::program::{CalleeSpec, Program, StaticOp};
@@ -66,7 +66,7 @@ struct FdipCore {
     restart_pending: bool,
     // Prefetched blocks.
     buffer: PrefetchBuffer,
-    inflight: HashMap<BlockAddr, u64>,
+    inflight: FillQueue,
     // Counters.
     issued: u64,
     supplied: u64,
@@ -88,7 +88,7 @@ impl FdipCore {
             last_explored_block: None,
             restart_pending: true,
             buffer: PrefetchBuffer::new(cfg.buffer_blocks),
-            inflight: HashMap::new(),
+            inflight: FillQueue::new(),
             issued: 0,
             supplied: 0,
             restarts: 0,
@@ -159,10 +159,10 @@ impl<'p> Fdip<'p> {
             core.last_explored_block = Some(block);
             if !core.l1_mirror.peek(block)
                 && !core.buffer.contains(block)
-                && !core.inflight.contains_key(&block)
+                && !core.inflight.contains(block)
             {
                 if let Some(resp) = ctx.l2.request(ctx.now, block, L2ReqKind::IPrefetch, None) {
-                    core.inflight.insert(block, resp.ready);
+                    core.inflight.insert(resp.ready, block, ());
                     core.issued += 1;
                 }
             }
@@ -285,7 +285,7 @@ impl IPrefetcher for Fdip<'_> {
             core.supplied += 1;
             return Some(ready.max(ctx.now));
         }
-        if let Some(ready) = core.inflight.remove(&block) {
+        if let Some((ready, ())) = core.inflight.remove(block) {
             core.supplied += 1;
             return Some(ready.max(ctx.now));
         }
@@ -294,21 +294,12 @@ impl IPrefetcher for Fdip<'_> {
 
     fn tick(&mut self, ctx: &mut PrefetchCtx<'_>) {
         for i in 0..self.cores.len() {
-            // Drain completed prefetches into the buffer.
+            // Drain completed prefetches into the buffer. The buffer is
+            // LRU-ordered, so arrival order matters; the fill queue pops
+            // in (ready, address) order structurally.
             {
                 let core = &mut self.cores[i];
-                // Arrival order (ties by address): the buffer is
-                // LRU-ordered, so a HashMap-ordered drain would be
-                // nondeterministic.
-                let mut done: Vec<(u64, BlockAddr)> = core
-                    .inflight
-                    .iter()
-                    .filter(|&(_, &r)| r <= ctx.now)
-                    .map(|(&b, &r)| (r, b))
-                    .collect();
-                done.sort_unstable_by_key(|&(r, b)| (r, b.0));
-                for (_, b) in done {
-                    let r = core.inflight.remove(&b).expect("present");
+                while let Some((r, b, ())) = core.inflight.pop_ready(ctx.now) {
                     core.buffer.insert(b, r);
                 }
             }

@@ -20,12 +20,21 @@ use tifs_trace::BlockAddr;
 /// c.insert(BlockAddr(0));
 /// assert!(c.access(BlockAddr(0)));
 /// ```
+/// Sentinel for an empty way. Unreachable as a real block address: block
+/// addresses are byte addresses divided by the 64-byte block size.
+const INVALID: BlockAddr = BlockAddr(u64::MAX);
+
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
-    /// Per set: resident blocks, MRU first.
-    sets: Vec<Vec<BlockAddr>>,
+    /// One contiguous `num_sets × ways` array: set `s` occupies
+    /// `slots[s*ways .. (s+1)*ways]`, resident blocks packed MRU-first
+    /// with `INVALID` filling the unused tail. A whole set is one cache
+    /// line's worth of consecutive words, so the probe-every-access path
+    /// touches memory once instead of chasing a per-set `Vec` pointer.
+    slots: Vec<BlockAddr>,
     ways: usize,
     set_mask: u64,
+    len: usize,
     insertions: u64,
     evictions: u64,
 }
@@ -46,65 +55,73 @@ impl SetAssocCache {
             "set count {num_sets} must be a power of two"
         );
         SetAssocCache {
-            sets: vec![Vec::with_capacity(ways); num_sets],
+            slots: vec![INVALID; num_sets * ways],
             ways,
             set_mask: (num_sets - 1) as u64,
+            len: 0,
             insertions: 0,
             evictions: 0,
         }
     }
 
     #[inline]
-    fn set_of(&self, block: BlockAddr) -> usize {
-        (block.0 & self.set_mask) as usize
+    fn set_range(&self, block: BlockAddr) -> std::ops::Range<usize> {
+        let s = (block.0 & self.set_mask) as usize * self.ways;
+        s..s + self.ways
     }
 
     /// Looks up `block`, promoting it to MRU on hit. Returns `true` on hit.
     pub fn access(&mut self, block: BlockAddr) -> bool {
-        let s = self.set_of(block);
-        let set = &mut self.sets[s];
-        if let Some(pos) = set.iter().position(|&b| b == block) {
-            let b = set.remove(pos);
-            set.insert(0, b);
-            true
-        } else {
-            false
+        let range = self.set_range(block);
+        let set = &mut self.slots[range];
+        match set.iter().position(|&b| b == block) {
+            Some(pos) => {
+                set.copy_within(0..pos, 1);
+                set[0] = block;
+                true
+            }
+            None => false,
         }
     }
 
     /// Checks residency without touching LRU state.
     pub fn peek(&self, block: BlockAddr) -> bool {
-        self.sets[self.set_of(block)].contains(&block)
+        self.slots[self.set_range(block)].contains(&block)
     }
 
     /// Inserts `block` at MRU (no-op promote if already resident). Returns
     /// the evicted block, if any.
     pub fn insert(&mut self, block: BlockAddr) -> Option<BlockAddr> {
-        let s = self.set_of(block);
-        let ways = self.ways;
-        let set = &mut self.sets[s];
+        debug_assert_ne!(block, INVALID, "reserved sentinel address");
+        let range = self.set_range(block);
+        let set = &mut self.slots[range];
         if let Some(pos) = set.iter().position(|&b| b == block) {
-            let b = set.remove(pos);
-            set.insert(0, b);
+            set.copy_within(0..pos, 1);
+            set[0] = block;
             return None;
         }
         self.insertions += 1;
-        set.insert(0, block);
-        if set.len() > ways {
-            self.evictions += 1;
-            set.pop()
-        } else {
+        let victim = *set.last().unwrap();
+        set.copy_within(0..set.len() - 1, 1);
+        set[0] = block;
+        if victim == INVALID {
+            self.len += 1;
             None
+        } else {
+            self.evictions += 1;
+            Some(victim)
         }
     }
 
     /// Removes `block` if resident; returns whether it was present.
     pub fn invalidate(&mut self, block: BlockAddr) -> bool {
-        let s = self.set_of(block);
-        let set = &mut self.sets[s];
+        let range = self.set_range(block);
+        let set = &mut self.slots[range];
         match set.iter().position(|&b| b == block) {
             Some(pos) => {
-                set.remove(pos);
+                set.copy_within(pos + 1.., pos);
+                *set.last_mut().unwrap() = INVALID;
+                self.len -= 1;
                 true
             }
             None => false,
@@ -113,12 +130,12 @@ impl SetAssocCache {
 
     /// Total resident blocks.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.len
     }
 
     /// Returns `true` if nothing is resident.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len == 0
     }
 
     /// Number of ways.
@@ -128,7 +145,7 @@ impl SetAssocCache {
 
     /// Number of sets.
     pub fn num_sets(&self) -> usize {
-        self.sets.len()
+        self.slots.len() / self.ways
     }
 
     /// Lifetime (insertions, evictions).
@@ -139,7 +156,12 @@ impl SetAssocCache {
     /// Every resident block, sorted by address (a deterministic snapshot
     /// of the cache's contents, independent of insertion history).
     pub fn resident_blocks(&self) -> Vec<BlockAddr> {
-        let mut out: Vec<BlockAddr> = self.sets.iter().flatten().copied().collect();
+        let mut out: Vec<BlockAddr> = self
+            .slots
+            .iter()
+            .copied()
+            .filter(|&b| b != INVALID)
+            .collect();
         out.sort_unstable();
         out
     }

@@ -1,7 +1,7 @@
 //! The four-core CMP harness: cores, shared L2, and the prefetcher under
 //! evaluation, stepped cycle by cycle.
 
-use tifs_trace::FetchRecord;
+use tifs_trace::{BlockAddr, FetchRecord};
 
 use crate::config::SystemConfig;
 use crate::core::Core;
@@ -34,6 +34,8 @@ pub struct Cmp<'a> {
     l2: L2,
     pf: Box<dyn IPrefetcher + 'a>,
     now: u64,
+    /// Reused eviction-delivery buffer (see [`Cmp::tick`]).
+    evict_scratch: Vec<BlockAddr>,
 }
 
 impl<'a> Cmp<'a> {
@@ -62,6 +64,7 @@ impl<'a> Cmp<'a> {
             l2: L2::new(&cfg),
             pf,
             now: 0,
+            evict_scratch: Vec::new(),
         }
     }
 
@@ -128,9 +131,7 @@ impl<'a> Cmp<'a> {
         // Deliver evictions raised by this cycle's core requests *before*
         // the prefetcher tick: Index-Table invalidations must not lag the
         // evicting access, or the prefetcher acts on stale residency.
-        for evicted in self.l2.take_evictions() {
-            self.pf.on_l2_evict(evicted);
-        }
+        self.deliver_evictions();
         {
             let mut ctx = PrefetchCtx {
                 now: self.now,
@@ -140,10 +141,19 @@ impl<'a> Cmp<'a> {
             self.pf.tick(&mut ctx);
         }
         // The prefetcher's own requests can evict too.
-        for evicted in self.l2.take_evictions() {
-            self.pf.on_l2_evict(evicted);
-        }
+        self.deliver_evictions();
         self.now += 1;
+    }
+
+    /// Hands this cycle's L2 evictions to the prefetcher in raise order,
+    /// recycling one scratch buffer so eviction-bearing cycles don't
+    /// allocate.
+    fn deliver_evictions(&mut self) {
+        self.l2.swap_evictions(&mut self.evict_scratch);
+        for i in 0..self.evict_scratch.len() {
+            self.pf.on_l2_evict(self.evict_scratch[i]);
+        }
+        self.evict_scratch.clear();
     }
 
     /// Current cycle.

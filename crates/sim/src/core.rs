@@ -11,13 +11,13 @@
 //! modelled precisely, while back-end scheduling detail affects all
 //! configurations identically.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use tifs_trace::{BlockAddr, FetchRecord, MemClass};
 
 use crate::bpred::{HybridPredictor, ReturnAddressStack, TargetBuffer};
 use crate::cache::SetAssocCache;
+use crate::collections::FillQueue;
 use crate::config::SystemConfig;
 use crate::l2::{L2ReqKind, L2};
 use crate::prefetch::{FetchKind, IPrefetcher, PrefetchCtx};
@@ -64,7 +64,7 @@ pub struct Core<'a> {
 
     stream: Box<dyn Iterator<Item = FetchRecord> + 'a>,
     l1i: SetAssocCache,
-    nl_inflight: HashMap<BlockAddr, u64>,
+    nl_inflight: FillQueue,
     cur_block: Option<BlockAddr>,
     fill_wait: Option<FillWait>,
     pending_rec: Option<FetchRecord>,
@@ -105,7 +105,7 @@ impl<'a> Core<'a> {
             store_writeback_prob: cfg.store_writeback_prob,
             stream,
             l1i: SetAssocCache::new(cfg.l1i_bytes, cfg.l1i_ways),
-            nl_inflight: HashMap::new(),
+            nl_inflight: FillQueue::new(),
             cur_block: None,
             fill_wait: None,
             pending_rec: None,
@@ -257,21 +257,12 @@ impl<'a> Core<'a> {
     /// stall on every block (the pull-based distance of 2 blocks of work
     /// cannot cover the 20-cycle L2 latency).
     fn drain_next_line(&mut self, now: u64, l2: &mut L2) {
-        if self.nl_inflight.is_empty() {
-            return;
-        }
-        // Drain in completion order (ties by address): HashMap iteration
-        // order is random per process, and the issue order below feeds the
-        // L2 bank scheduler, so an unsorted drain is nondeterministic.
-        let mut ready: Vec<(u64, BlockAddr)> = self
-            .nl_inflight
-            .iter()
-            .filter(|&(_, &r)| r <= now)
-            .map(|(&b, &r)| (r, b))
-            .collect();
-        ready.sort_unstable_by_key(|&(r, b)| (r, b.0));
-        for (_, b) in ready {
-            self.nl_inflight.remove(&b);
+        // Completions pop in (ready, address) order structurally — the
+        // issue order below feeds the L2 bank scheduler, and the fill
+        // queue's drain order is part of its contract. Chained prefetches
+        // issued mid-drain always complete after `now` (the L2 never
+        // answers in zero cycles), so the drain terminates.
+        while let Some((_, b, ())) = self.nl_inflight.pop_ready(now) {
             self.l1i.insert(b);
             if self
                 .cur_block
@@ -285,11 +276,11 @@ impl<'a> Core<'a> {
     fn issue_next_line(&mut self, now: u64, block: BlockAddr, l2: &mut L2) {
         for d in 1..=self.next_line_depth {
             let nb = block.offset(d);
-            if self.l1i.peek(nb) || self.nl_inflight.contains_key(&nb) {
+            if self.l1i.peek(nb) || self.nl_inflight.contains(nb) {
                 continue;
             }
             if let Some(resp) = l2.request(now, nb, L2ReqKind::IPrefetch, None) {
-                self.nl_inflight.insert(nb, resp.ready);
+                self.nl_inflight.insert(resp.ready, nb, ());
             }
         }
     }
@@ -392,8 +383,7 @@ impl<'a> Core<'a> {
         // than the in-flight fill (a "perfect and timely" prefetcher has
         // no such stalls at all).
         if !l1_hit {
-            if let Some(&ready) = self.nl_inflight.get(&block) {
-                self.nl_inflight.remove(&block);
+            if let Some((ready, ())) = self.nl_inflight.remove(block) {
                 self.stats.next_line_hits += 1;
                 let supply = {
                     let mut ctx = PrefetchCtx {

@@ -321,10 +321,16 @@ impl L2 {
         kind: L2ReqKind,
         forced_hit: Option<bool>,
     ) -> Option<L2Response> {
-        self.reclaim_mshrs(now);
+        // Reclaim lazily: `inflight` only gates the MSHR-full check, so
+        // completed fills can sit in the list until the check would
+        // otherwise trip — same accept/reject outcomes, without a
+        // whole-list scan on every request.
         if self.inflight.len() >= self.cfg.mshrs {
-            self.stats.mshr_rejects += 1;
-            return None;
+            self.reclaim_mshrs(now);
+            if self.inflight.len() >= self.cfg.mshrs {
+                self.stats.mshr_rejects += 1;
+                return None;
+            }
         }
         self.stats.accesses[kind.index()] += 1;
 
@@ -399,6 +405,14 @@ impl L2 {
     /// Index-Table invalidation in the embedded-tags organization).
     pub fn take_evictions(&mut self) -> Vec<BlockAddr> {
         std::mem::take(&mut self.evictions)
+    }
+
+    /// Swaps the pending-eviction list with `buf` (which must be empty),
+    /// letting a caller that polls every cycle reuse one buffer instead
+    /// of reallocating via [`take_evictions`](Self::take_evictions).
+    pub fn swap_evictions(&mut self, buf: &mut Vec<BlockAddr>) {
+        debug_assert!(buf.is_empty());
+        std::mem::swap(&mut self.evictions, buf);
     }
 
     /// Statistics so far.

@@ -8,6 +8,8 @@
 //!
 //! * [`config`] — Table II parameters;
 //! * [`cache`] — set-associative LRU caches;
+//! * [`collections`] — deterministic hot-path structures: structural
+//!   drain-order fill queues and open-addressed block maps;
 //! * [`l2`] — banked L2 + memory timing, traffic accounting (Figure 12);
 //! * [`bpred`] — hybrid gShare/bimodal predictor, RAS, BTB;
 //! * [`core`] — fetch unit, pre-dispatch queue, ROB back end;
@@ -41,6 +43,7 @@
 pub mod bpred;
 pub mod cache;
 pub mod cmp;
+pub mod collections;
 pub mod config;
 pub mod core;
 pub mod l2;
