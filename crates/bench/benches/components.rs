@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
-use tifs_bench::{bench_records, bench_symbols, bench_workload};
+use tifs_bench::{bench_records, bench_symbols, bench_symbols_large, bench_workload};
 use tifs_core::iml::{Iml, ENTRIES_PER_L2_BLOCK};
 use tifs_core::{FunctionalConfig, FunctionalTifs};
 use tifs_sequitur::{LceIndex, Sequitur};
@@ -22,6 +22,19 @@ fn bench_sequitur(c: &mut Criterion) {
         b.iter(|| {
             let mut s = Sequitur::with_capacity(symbols.len());
             s.extend(symbols.iter().copied());
+            s.into_grammar().num_rules()
+        })
+    });
+    // A grammar-scale stream (hundreds of ms per build): large enough to
+    // sit above the perf gate's 100 ms floor, so regressions in the
+    // grammar engine fail `compare_baselines` instead of drowning in
+    // timer noise.
+    let large = bench_symbols_large(600_000);
+    g.throughput(Throughput::Elements(large.len() as u64));
+    g.bench_function("build_grammar_large", |b| {
+        b.iter(|| {
+            let mut s = Sequitur::with_capacity(large.len());
+            s.extend(large.iter().copied());
             s.into_grammar().num_rules()
         })
     });

@@ -32,3 +32,24 @@ pub fn bench_miss_trace(instructions: usize) -> Vec<BlockAddr> {
 pub fn bench_symbols(instructions: usize) -> Vec<u64> {
     bench_miss_trace(instructions).iter().map(|b| b.0).collect()
 }
+
+/// A large symbol stream for grammar-scale benches: the real 1M-instruction
+/// miss trace, replayed across disjoint phases until `target_len` symbols.
+///
+/// Each replay tags the block addresses with a phase id in the high bits,
+/// so phases share no symbols — the grammar keeps its within-phase
+/// repetition structure (the regime SEQUITUR targets) but cannot fold
+/// whole phases into one rule, mimicking successive working sets of a
+/// long-running server rather than a copy-pasted trace.
+pub fn bench_symbols_large(target_len: usize) -> Vec<u64> {
+    let base = bench_symbols(1_000_000);
+    assert!(!base.is_empty());
+    let mut out = Vec::with_capacity(target_len);
+    let mut phase = 0u64;
+    while out.len() < target_len {
+        let tag = phase << 32;
+        out.extend(base.iter().take(target_len - out.len()).map(|&s| s ^ tag));
+        phase += 1;
+    }
+    out
+}

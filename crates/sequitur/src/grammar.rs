@@ -13,29 +13,64 @@
 //! subsequences of the input, which is why the TIFS paper uses SEQUITUR to
 //! identify recurring L1-I miss streams (paper Section 4.1).
 //!
-//! The implementation stores symbols in an arena of doubly-linked nodes with
-//! one guard node per rule. Unlike the classic recursive formulation, digram
-//! checks are processed from an explicit work queue: every structural change
-//! enqueues the digrams it may have created, and the queue is drained to
-//! quiescence after each input symbol. This removes the reentrancy hazards
-//! of recursive cascades (rules dying mid-cascade, stale node references)
-//! while performing the same amortized O(1) work per input symbol.
+//! # Engine layout
+//!
+//! Symbols live in a generational arena ([`Arena`]): doubly-linked nodes
+//! addressed by `u32` index, one guard node per rule, a free list for
+//! reuse, and a generation tag per slot that is bumped on every free so
+//! stale handles are detectable in debug builds. No per-node allocation
+//! ever happens — a build allocates its node slab and digram table up
+//! front (see [`Sequitur::with_capacity`]) and then runs allocation-free.
+//!
+//! The digram index is a [`tifs_collections::DigramIndex`]: the same
+//! open-addressed table idiom as the simulator's Index Table (fibonacci
+//! hashing, linear probing, backward-shift deletion), storing a 64-bit
+//! digram hash plus the node id of the indexed occurrence per slot. Keys
+//! are never materialized — equality is resolved by reading the two
+//! symbols straight out of the arena — so a digram operation costs a few
+//! multiplies instead of a `SipHash` pass over a 32-byte enum pair.
+//!
+//! Unlike the classic recursive formulation, digram checks are processed
+//! from an explicit work queue: every structural change enqueues the
+//! digrams it may have created, and the queue is drained to quiescence
+//! after each input symbol. This removes the reentrancy hazards of
+//! recursive cascades (rules dying mid-cascade, stale node references)
+//! while performing the same amortized O(1) work per input symbol. The
+//! queue stores raw node ids and re-checks whatever occupies the slot at
+//! drain time, which reproduces the reference cascade order exactly —
+//! the grammar-equivalence suite in `tests/equivalence.rs` pins the
+//! whole engine, rule for rule, against the pre-arena implementation.
+//!
+//! # Run-length-encoded mode
+//!
+//! [`Sequitur::new_rle`] enables run-length encoding: maximal runs of a
+//! repeated terminal enter the grammar as a single [`Sym::Run`] symbol
+//! (the exemplar's `rle_sequitur` idiom), so repetitive streams compress
+//! far harder — a miss trace that ping-pongs over the same block
+//! contributes one symbol per burst instead of one per miss. The flag is
+//! strictly opt-in: in default mode no `Run` symbol is ever produced and
+//! the grammar is bit-identical to the reference implementation.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
+
+use tifs_collections::DigramIndex;
 
 /// Sentinel node index meaning "no node".
 const NIL: u32 = u32::MAX;
 
-/// Internal symbol value stored in a linked-list node.
+/// Internal symbol value carried by an arena node.
 ///
 /// `Guard` carries the id of the rule it belongs to, which lets a digram
 /// match discover "this digram is the complete right-hand side of rule R"
-/// in O(1), exactly as in the reference implementation.
+/// in O(1), exactly as in the reference implementation. `Run` only occurs
+/// in RLE mode.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 enum Value {
     /// A terminal symbol from the input alphabet.
     Terminal(u64),
+    /// `count` adjacent copies of one terminal (RLE mode only).
+    Run(u64, u32),
     /// A reference to (use of) a rule.
     Rule(u32),
     /// The guard node of a rule's circular list; never part of a digram.
@@ -48,12 +83,172 @@ impl Value {
     }
 }
 
+/// Node kind discriminant; `Dead` marks a freed slot awaiting reuse.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kind {
+    Dead,
+    Terminal,
+    Run,
+    Rule,
+    Guard,
+}
+
+/// One arena slot: a doubly-linked symbol node with its value unpacked
+/// into plain fields (24 bytes instead of the 32 an embedded enum
+/// costs), plus the slot's generation tag.
 #[derive(Clone, Debug)]
 struct Node {
     prev: u32,
     next: u32,
-    value: Value,
-    alive: bool,
+    /// Terminal payload for `Terminal` / `Run` nodes.
+    term: u64,
+    /// Rule id for `Rule` / `Guard` nodes; run length for `Run` nodes.
+    aux: u32,
+    kind: Kind,
+    /// Bumped (wrapping) each time the slot is freed; lets debug builds
+    /// catch a handle that outlived its node even after slot reuse.
+    gen: u8,
+}
+
+impl Node {
+    #[inline]
+    fn value(&self) -> Value {
+        match self.kind {
+            Kind::Terminal => Value::Terminal(self.term),
+            Kind::Run => Value::Run(self.term, self.aux),
+            Kind::Rule => Value::Rule(self.aux),
+            Kind::Guard => Value::Guard(self.aux),
+            Kind::Dead => unreachable!("value() on dead node"),
+        }
+    }
+
+    #[inline]
+    fn set_value(&mut self, v: Value) {
+        match v {
+            Value::Terminal(t) => {
+                self.kind = Kind::Terminal;
+                self.term = t;
+                self.aux = 0;
+            }
+            Value::Run(t, c) => {
+                self.kind = Kind::Run;
+                self.term = t;
+                self.aux = c;
+            }
+            Value::Rule(r) => {
+                self.kind = Kind::Rule;
+                self.term = 0;
+                self.aux = r;
+            }
+            Value::Guard(r) => {
+                self.kind = Kind::Guard;
+                self.term = 0;
+                self.aux = r;
+            }
+        }
+    }
+}
+
+/// The generational node slab: index-addressed, free-list reuse,
+/// generation tags. All structural pointers (`prev`/`next`) are raw
+/// `u32` indices into this arena.
+#[derive(Clone, Debug, Default)]
+struct Arena {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+}
+
+impl Arena {
+    /// Allocates a node carrying `value`, reusing a freed slot if one
+    /// exists (the reused slot keeps its bumped generation tag).
+    fn alloc(&mut self, value: Value) -> u32 {
+        if let Some(id) = self.free.pop() {
+            let node = &mut self.nodes[id as usize];
+            debug_assert_eq!(node.kind, Kind::Dead, "free list holds live node");
+            node.prev = NIL;
+            node.next = NIL;
+            node.set_value(value);
+            id
+        } else {
+            let id = self.nodes.len() as u32;
+            let mut node = Node {
+                prev: NIL,
+                next: NIL,
+                term: 0,
+                aux: 0,
+                kind: Kind::Dead,
+                gen: 0,
+            };
+            node.set_value(value);
+            self.nodes.push(node);
+            id
+        }
+    }
+
+    /// Marks `id` dead and recycles its slot, bumping the generation.
+    fn free(&mut self, id: u32) {
+        let node = &mut self.nodes[id as usize];
+        debug_assert_ne!(node.kind, Kind::Dead, "double free of node");
+        node.kind = Kind::Dead;
+        node.gen = node.gen.wrapping_add(1);
+        self.free.push(id);
+    }
+
+    #[inline]
+    fn value(&self, n: u32) -> Value {
+        self.nodes[n as usize].value()
+    }
+
+    #[inline]
+    fn next(&self, n: u32) -> u32 {
+        self.nodes[n as usize].next
+    }
+
+    #[inline]
+    fn prev(&self, n: u32) -> u32 {
+        self.nodes[n as usize].prev
+    }
+
+    #[inline]
+    fn alive(&self, n: u32) -> bool {
+        self.nodes[n as usize].kind != Kind::Dead
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn reserve(&mut self, n: usize) {
+        self.nodes.reserve(n);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Digram hashing
+// ---------------------------------------------------------------------------
+
+const HASH_K1: u64 = 0x9E37_79B9_7F4A_7C15;
+const HASH_K2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+/// Mixes one symbol into 64 bits. Distinct variants are separated by
+/// multiplier and tag; collisions across variants are possible but
+/// harmless — the index resolves equality against the arena.
+#[inline]
+fn sym_hash(v: Value) -> u64 {
+    match v {
+        Value::Terminal(t) => t.wrapping_mul(HASH_K1),
+        Value::Run(t, c) => t.wrapping_mul(HASH_K1) ^ (c as u64).wrapping_mul(HASH_K2) ^ !0,
+        Value::Rule(r) => (r as u64 ^ 0x5151_5151_5151_5151).wrapping_mul(HASH_K2),
+        Value::Guard(_) => unreachable!("guards are never hashed"),
+    }
+}
+
+/// Hash of an adjacent symbol pair. Asymmetric (rotate before combine)
+/// so `(a, b)` and `(b, a)` land apart, then one avalanche multiply;
+/// the table applies its own fibonacci mix for the home slot on top.
+#[inline]
+fn digram_hash(a: Value, b: Value) -> u64 {
+    (sym_hash(a).rotate_left(31) ^ sym_hash(b)).wrapping_mul(HASH_K1)
 }
 
 #[derive(Clone, Debug)]
@@ -85,17 +280,20 @@ struct RuleMeta {
 /// assert!(g.num_rules() >= 2); // start rule + at least one body rule
 /// ```
 pub struct Sequitur {
-    nodes: Vec<Node>,
-    free_nodes: Vec<u32>,
+    arena: Arena,
     rules: Vec<RuleMeta>,
     free_rules: Vec<u32>,
-    /// Digram index: maps a pair of adjacent symbol values to the node id of
-    /// the first symbol of the (unique) indexed occurrence.
-    digrams: HashMap<(Value, Value), u32>,
+    /// Digram index: open-addressed `(hash, node id)` slots; the indexed
+    /// occurrence's key is read back from the arena on lookup.
+    digrams: DigramIndex,
     /// Nodes whose following digram may need (re)checking.
     pending: VecDeque<u32>,
     /// Number of terminals pushed so far.
     len: usize,
+    /// Run-length-encoded mode (see [`Sequitur::new_rle`]).
+    rle: bool,
+    /// RLE mode: the still-open trailing run of the input.
+    open_run: Option<(u64, u32)>,
 }
 
 impl fmt::Debug for Sequitur {
@@ -104,6 +302,7 @@ impl fmt::Debug for Sequitur {
             .field("len", &self.len)
             .field("rules", &self.rules.len())
             .field("digrams", &self.digrams.len())
+            .field("rle", &self.rle)
             .finish()
     }
 }
@@ -117,26 +316,64 @@ impl Default for Sequitur {
 impl Sequitur {
     /// Creates an empty grammar containing only the start rule.
     pub fn new() -> Self {
+        Self::with_options(0, false)
+    }
+
+    /// Creates an empty grammar in run-length-encoded mode: maximal runs
+    /// of one repeated terminal become a single [`Sym::Run`] symbol, so
+    /// bursty streams compress much harder. Default-mode output is
+    /// unaffected by the existence of this flag.
+    pub fn new_rle() -> Self {
+        Self::with_options(0, true)
+    }
+
+    /// Creates an empty grammar with capacity for a trace of `n`
+    /// symbols: an `n`-terminal stream allocates up to `n` live nodes
+    /// (plus rule guards) and at most `n` digram-index entries, so both
+    /// are reserved in full and a pre-sized build never reallocates the
+    /// slab nor rehashes the digram table mid-stream.
+    pub fn with_capacity(n: usize) -> Self {
+        Self::with_options(n, false)
+    }
+
+    /// [`Sequitur::with_capacity`] in RLE mode ([`Sequitur::new_rle`]).
+    pub fn with_capacity_rle(n: usize) -> Self {
+        Self::with_options(n, true)
+    }
+
+    fn with_options(capacity: usize, rle: bool) -> Self {
         let mut s = Sequitur {
-            nodes: Vec::new(),
-            free_nodes: Vec::new(),
+            arena: Arena::default(),
             rules: Vec::new(),
             free_rules: Vec::new(),
-            digrams: HashMap::new(),
+            digrams: if capacity == 0 {
+                DigramIndex::new()
+            } else {
+                DigramIndex::with_capacity(capacity)
+            },
             pending: VecDeque::new(),
             len: 0,
+            rle,
+            open_run: None,
         };
+        // Worst case (no repetition) keeps every terminal as a live
+        // node; guards and transient rule bodies ride in the slack.
+        s.arena.reserve(capacity + capacity / 8 + 8);
         let start = s.new_rule();
         debug_assert_eq!(start, 0);
         s
     }
 
-    /// Creates an empty grammar with capacity hints for a trace of `n` symbols.
-    pub fn with_capacity(n: usize) -> Self {
-        let mut s = Self::new();
-        s.nodes.reserve(n / 2);
-        s.digrams.reserve(n / 2);
-        s
+    /// Whether this builder is in run-length-encoded mode.
+    pub fn is_rle(&self) -> bool {
+        self.rle
+    }
+
+    /// Number of slots in the digram table (see
+    /// [`DigramIndex::slots`]); exposed so tests can assert a pre-sized
+    /// build never grows it.
+    pub fn digram_slots(&self) -> usize {
+        self.digrams.slots()
     }
 
     /// Number of terminal symbols pushed so far.
@@ -152,10 +389,30 @@ impl Sequitur {
     /// Appends one terminal symbol to the input sequence, restoring both
     /// SEQUITUR invariants before returning.
     pub fn push(&mut self, terminal: u64) {
-        let guard = self.rules[0].guard;
-        let last = self.nodes[guard as usize].prev;
-        self.insert_after(last, Value::Terminal(terminal));
         self.len += 1;
+        if self.rle {
+            match self.open_run {
+                Some((t, c)) if t == terminal && c < u32::MAX => {
+                    self.open_run = Some((t, c + 1));
+                }
+                Some((t, c)) => {
+                    self.append_value(run_value(t, c));
+                    self.open_run = Some((terminal, 1));
+                }
+                None => {
+                    self.open_run = Some((terminal, 1));
+                }
+            }
+        } else {
+            self.append_value(Value::Terminal(terminal));
+        }
+    }
+
+    /// Appends one symbol to the start rule and drains the check queue.
+    fn append_value(&mut self, value: Value) {
+        let guard = self.rules[0].guard;
+        let last = self.arena.prev(guard);
+        self.insert_after(last, value);
         if last != guard {
             self.enqueue(last);
         }
@@ -163,28 +420,14 @@ impl Sequitur {
     }
 
     /// Consumes the builder and returns an immutable, compact [`Grammar`].
-    pub fn into_grammar(self) -> Grammar {
+    pub fn into_grammar(mut self) -> Grammar {
+        if let Some((t, c)) = self.open_run.take() {
+            self.append_value(run_value(t, c));
+        }
         Grammar::from_builder(&self)
     }
 
     // ----- arena helpers ---------------------------------------------------
-
-    fn new_node(&mut self, value: Value) -> u32 {
-        let node = Node {
-            prev: NIL,
-            next: NIL,
-            value,
-            alive: true,
-        };
-        if let Some(id) = self.free_nodes.pop() {
-            self.nodes[id as usize] = node;
-            id
-        } else {
-            let id = self.nodes.len() as u32;
-            self.nodes.push(node);
-            id
-        }
-    }
 
     fn new_rule(&mut self) -> u32 {
         let id = if let Some(id) = self.free_rules.pop() {
@@ -197,9 +440,9 @@ impl Sequitur {
             });
             (self.rules.len() - 1) as u32
         };
-        let guard = self.new_node(Value::Guard(id));
-        self.nodes[guard as usize].prev = guard;
-        self.nodes[guard as usize].next = guard;
+        let guard = self.arena.alloc(Value::Guard(id));
+        self.arena.nodes[guard as usize].prev = guard;
+        self.arena.nodes[guard as usize].next = guard;
         self.rules[id as usize] = RuleMeta {
             guard,
             usage: 0,
@@ -210,26 +453,30 @@ impl Sequitur {
 
     #[inline]
     fn value(&self, n: u32) -> Value {
-        self.nodes[n as usize].value
+        self.arena.value(n)
     }
 
     #[inline]
     fn next(&self, n: u32) -> u32 {
-        self.nodes[n as usize].next
+        self.arena.next(n)
     }
 
     #[inline]
     fn prev(&self, n: u32) -> u32 {
-        self.nodes[n as usize].prev
-    }
-
-    #[inline]
-    fn alive(&self, n: u32) -> bool {
-        self.nodes[n as usize].alive
+        self.arena.prev(n)
     }
 
     fn enqueue(&mut self, n: u32) {
         self.pending.push_back(n);
+    }
+
+    /// Looks up the indexed occurrence of the digram `(a, b)`.
+    #[inline]
+    fn find_digram(&self, a: Value, b: Value) -> Option<u32> {
+        let arena = &self.arena;
+        self.digrams.find(digram_hash(a, b), |e| {
+            arena.value(e) == a && arena.value(arena.next(e)) == b
+        })
     }
 
     /// Removes the digram-index entry for the digram starting at `n`, if the
@@ -253,34 +500,30 @@ impl Sequitur {
         if mv.is_guard() {
             return;
         }
-        if let Some(&entry) = self.digrams.get(&(nv, mv)) {
-            if entry == n {
-                self.digrams.remove(&(nv, mv));
-                let p = self.prev(n);
-                if p != NIL && !self.value(p).is_guard() {
-                    self.enqueue(p);
-                }
-                if !mv.is_guard() {
-                    self.enqueue(m);
-                }
+        if self.find_digram(nv, mv) == Some(n) {
+            self.digrams.remove(digram_hash(nv, mv), n);
+            let p = self.prev(n);
+            if p != NIL && !self.value(p).is_guard() {
+                self.enqueue(p);
             }
+            self.enqueue(m);
         }
     }
 
     /// Links `left -> right`, un-indexing the digram that previously started
     /// at `left`.
     fn join(&mut self, left: u32, right: u32) {
-        if self.nodes[left as usize].next != NIL {
+        if self.arena.next(left) != NIL {
             self.delete_digram(left);
         }
-        self.nodes[left as usize].next = right;
-        self.nodes[right as usize].prev = left;
+        self.arena.nodes[left as usize].next = right;
+        self.arena.nodes[right as usize].prev = left;
     }
 
     /// Inserts a fresh node carrying `value` immediately after `after`;
     /// returns the new node id.
     fn insert_after(&mut self, after: u32, value: Value) -> u32 {
-        let node = self.new_node(value);
+        let node = self.arena.alloc(value);
         let old_next = self.next(after);
         self.join(node, old_next);
         self.join(after, node);
@@ -300,17 +543,20 @@ impl Sequitur {
         if let Value::Rule(r) = self.value(n) {
             self.rules[r as usize].usage -= 1;
         }
-        self.nodes[n as usize].alive = false;
-        self.free_nodes.push(n);
+        self.arena.free(n);
     }
 
     /// Drains the pending-check queue, restoring digram uniqueness and rule
     /// utility. Stale entries (freed or restructured nodes) are skipped;
     /// freed node ids may have been reused, in which case the check is
-    /// merely a harmless re-validation of a live digram.
+    /// merely a harmless re-validation of a live digram. The queue
+    /// deliberately stores raw ids rather than `(id, generation)` pairs:
+    /// re-checking the slot's current occupant is exactly what the
+    /// reference implementation did, and the equivalence suite pins the
+    /// resulting cascade order.
     fn drain_queue(&mut self) {
         while let Some(n) = self.pending.pop_front() {
-            if (n as usize) < self.nodes.len() && self.alive(n) {
+            if (n as usize) < self.arena.len() && self.arena.alive(n) {
                 self.check(n);
             }
         }
@@ -328,11 +574,9 @@ impl Sequitur {
         if mv.is_guard() {
             return;
         }
-        let key = (nv, mv);
-        let entry = self.digrams.get(&key).copied();
-        match entry {
+        match self.find_digram(nv, mv) {
             None => {
-                self.digrams.insert(key, n);
+                self.digrams.insert(digram_hash(nv, mv), n);
             }
             Some(e) if e == n => {}
             Some(e) if self.next(e) == n || self.next(n) == e => {
@@ -370,9 +614,9 @@ impl Sequitur {
             // Index the rule's own body digram; its key slot was cleared by
             // the substitution of `e`.
             let body_first = self.next(self.rules[r as usize].guard);
-            let key = (self.value(body_first), self.value(self.next(body_first)));
-            debug_assert!(!self.digrams.contains_key(&key));
-            self.digrams.insert(key, body_first);
+            let (ba, bb) = (self.value(body_first), self.value(self.next(body_first)));
+            debug_assert!(self.find_digram(ba, bb).is_none());
+            self.digrams.insert(digram_hash(ba, bb), body_first);
             self.enforce_utility_for_body(r);
         }
     }
@@ -425,12 +669,12 @@ impl Sequitur {
     /// If node `n` references a rule with a single remaining use, inline
     /// that rule at `n`.
     fn expand_if_underused(&mut self, n: u32) {
-        if !self.alive(n) {
+        if !self.arena.alive(n) {
             return;
         }
         if let Value::Rule(q) = self.value(n) {
             if self.rules[q as usize].usage == 1 {
-                self.expand(n, q);
+                self.inline_rule(n, q);
             }
         }
     }
@@ -438,7 +682,7 @@ impl Sequitur {
     /// Inlines rule `q` at its single remaining reference `n`, then deletes
     /// the rule. The body's internal digram-index entries stay valid because
     /// the body nodes are spliced wholesale.
-    fn expand(&mut self, n: u32, q: u32) {
+    fn inline_rule(&mut self, n: u32, q: u32) {
         debug_assert_eq!(self.rules[q as usize].usage, 1);
         let guard = self.rules[q as usize].guard;
         let first = self.next(guard);
@@ -453,18 +697,16 @@ impl Sequitur {
         self.delete_digram(left);
         self.delete_digram(n);
         self.rules[q as usize].usage -= 1;
-        self.nodes[n as usize].alive = false;
-        self.free_nodes.push(n);
+        self.arena.free(n);
 
         // Splice the body in place of the reference.
-        self.nodes[left as usize].next = first;
-        self.nodes[first as usize].prev = left;
-        self.nodes[last as usize].next = right;
-        self.nodes[right as usize].prev = last;
+        self.arena.nodes[left as usize].next = first;
+        self.arena.nodes[first as usize].prev = left;
+        self.arena.nodes[last as usize].next = right;
+        self.arena.nodes[right as usize].prev = last;
 
         // Retire the rule.
-        self.nodes[guard as usize].alive = false;
-        self.free_nodes.push(guard);
+        self.arena.free(guard);
         self.rules[q as usize].alive = false;
         self.rules[q as usize].guard = NIL;
         self.free_rules.push(q);
@@ -493,6 +735,9 @@ impl Sequitur {
                     Value::Terminal(t) => {
                         let _ = write!(out, " {t}");
                     }
+                    Value::Run(t, c) => {
+                        let _ = write!(out, " {t}x{c}");
+                    }
                     Value::Rule(r) => {
                         let _ = write!(out, " R{r}");
                     }
@@ -513,6 +758,7 @@ impl Sequitur {
     /// Verifies both SEQUITUR invariants, panicking with a diagnostic if one
     /// is violated. Intended for tests; cost is O(grammar size).
     pub fn assert_invariants(&self) {
+        use std::collections::HashMap;
         let mut seen: HashMap<(Value, Value), u32> = HashMap::new();
         let mut usage: HashMap<u32, u32> = HashMap::new();
         for (id, rule) in self.rules.iter().enumerate() {
@@ -523,7 +769,7 @@ impl Sequitur {
             let mut n = self.next(guard);
             let mut body_len = 0;
             while n != guard {
-                assert!(self.alive(n), "rule {id} contains dead node {n}");
+                assert!(self.arena.alive(n), "rule {id} contains dead node {n}");
                 body_len += 1;
                 if let Value::Rule(q) = self.value(n) {
                     *usage.entry(q).or_insert(0) += 1;
@@ -558,21 +804,36 @@ impl Sequitur {
             assert_eq!(u, rule.usage, "rule {id} usage counter out of sync");
             assert!(u >= 2, "rule {id} used {u} < 2 times (utility violated)");
         }
-        // Every digram-index entry must point at a live node whose digram
-        // matches its key.
-        for (&(a, b), &n) in &self.digrams {
+        // Every digram-index entry must point at a live, correctly-hashed
+        // occurrence whose digram is part of some rule body.
+        for (hash, n) in self.digrams.entries() {
             assert!(
-                self.alive(n),
-                "index entry {:?} points at dead node",
+                self.arena.alive(n),
+                "index entry (hash {hash:#x}) points at dead node {n}"
+            );
+            let a = self.value(n);
+            assert!(!a.is_guard(), "index entry starts at guard node {n}");
+            let m = self.next(n);
+            let b = self.value(m);
+            assert!(!b.is_guard(), "index entry ends at guard node {m}");
+            assert_eq!(
+                digram_hash(a, b),
+                hash,
+                "index hash stale for digram {:?} at node {n}",
                 (a, b)
             );
-            assert_eq!(self.value(n), a, "index key/first mismatch at node {n}");
-            assert_eq!(
-                self.value(self.next(n)),
-                b,
-                "index key/second mismatch at node {n}"
-            );
         }
+    }
+}
+
+/// Run of length 1 is a plain terminal; RLE mode only materializes
+/// `Run` symbols for genuine repeats.
+#[inline]
+fn run_value(t: u64, c: u32) -> Value {
+    if c == 1 {
+        Value::Terminal(t)
+    } else {
+        Value::Run(t, c)
     }
 }
 
@@ -603,6 +864,10 @@ pub enum Sym {
     T(u64),
     /// A reference to `Grammar::rules()[index]`.
     R(usize),
+    /// A run of identical terminals: `Run(t, count)` expands to `count`
+    /// copies of `t`. Only produced by RLE-mode builders
+    /// ([`Sequitur::new_rle`]); default-mode grammars never contain it.
+    Run(u64, u32),
 }
 
 /// One production rule of an exported [`Grammar`].
@@ -623,7 +888,8 @@ pub struct GrammarStats {
     pub input_len: usize,
     /// Number of rules, including the start rule.
     pub num_rules: usize,
-    /// Total symbols across all rule bodies (the compressed size).
+    /// Total symbols across all rule bodies (the compressed size). A
+    /// [`Sym::Run`] counts as one symbol — that is the RLE win.
     pub grammar_size: usize,
 }
 
@@ -656,6 +922,7 @@ impl Grammar {
             while n != guard {
                 symbols.push(match b.value(n) {
                     Value::Terminal(t) => Sym::T(t),
+                    Value::Run(t, c) => Sym::Run(t, c),
                     Value::Rule(r) => Sym::R(index[r as usize]),
                     Value::Guard(_) => unreachable!("guards are list heads only"),
                 });
@@ -686,6 +953,7 @@ impl Grammar {
             for i in 0..rules[r].symbols.len() {
                 total += match rules[r].symbols[i] {
                     Sym::T(_) => 1,
+                    Sym::Run(_, c) => c as usize,
                     Sym::R(q) => expand_len(rules, memo, q),
                 };
             }
@@ -745,6 +1013,7 @@ impl Grammar {
             stack.push((r, i + 1));
             match self.rules[r].symbols[i] {
                 Sym::T(t) => out.push(t),
+                Sym::Run(t, c) => out.extend(std::iter::repeat_n(t, c as usize)),
                 Sym::R(q) => stack.push((q, 0)),
             }
         }
@@ -772,6 +1041,17 @@ mod tests {
         }
         let g = s.into_grammar();
         assert_eq!(g.expand(), input, "grammar must regenerate its input");
+        g
+    }
+
+    fn roundtrip_rle(input: &[u64]) -> Grammar {
+        let mut s = Sequitur::new_rle();
+        for &x in input {
+            s.push(x);
+            s.assert_invariants();
+        }
+        let g = s.into_grammar();
+        assert_eq!(g.expand(), input, "RLE grammar must regenerate its input");
         g
     }
 
@@ -943,5 +1223,83 @@ mod tests {
         s.assert_invariants();
         let g = s.into_grammar();
         assert_eq!(g.expand(), input);
+    }
+
+    // ----- RLE mode --------------------------------------------------------
+
+    #[test]
+    fn rle_collapses_pure_run() {
+        // 40 copies of one terminal: the whole input is one Run symbol.
+        let input = vec![7u64; 40];
+        let g = roundtrip_rle(&input);
+        assert_eq!(g.num_rules(), 1);
+        assert_eq!(g.start().symbols, vec![Sym::Run(7, 40)]);
+        assert_eq!(g.stats().grammar_size, 1);
+        assert_eq!(g.start().expansion_len, 40);
+    }
+
+    #[test]
+    fn rle_default_mode_never_emits_runs() {
+        let input = vec![7u64; 40];
+        let g = roundtrip(&input);
+        for r in g.rules() {
+            for s in &r.symbols {
+                assert!(!matches!(s, Sym::Run(..)), "default mode emitted {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rle_compresses_bursty_stream_harder() {
+        // Bursts of repeats around a recurring scaffold: RLE folds each
+        // burst to one symbol, plain SEQUITUR keeps digram pyramids.
+        let mut input = Vec::new();
+        for i in 0..20 {
+            input.extend(std::iter::repeat_n(1u64, 9));
+            input.push(100 + (i % 3));
+            input.extend(std::iter::repeat_n(2u64, 7));
+            input.push(200);
+        }
+        let plain = roundtrip(&input).stats();
+        let rle = roundtrip_rle(&input).stats();
+        assert!(
+            rle.grammar_size < plain.grammar_size,
+            "RLE ({rle:?}) should beat plain ({plain:?}) on bursty input"
+        );
+    }
+
+    #[test]
+    fn rle_single_trailing_run_flushes_on_export() {
+        // The open run at end-of-input must be flushed by into_grammar.
+        let mut s = Sequitur::new_rle();
+        s.extend([5u64, 5, 5, 9, 9].iter().copied());
+        assert_eq!(s.len(), 5);
+        let g = s.into_grammar();
+        assert_eq!(g.expand(), vec![5, 5, 5, 9, 9]);
+        assert_eq!(g.start().symbols, vec![Sym::Run(5, 3), Sym::Run(9, 2)]);
+    }
+
+    #[test]
+    fn rle_roundtrips_mixed_streams() {
+        let mut x: u64 = 0xDEADBEEF12345678;
+        let mut input = Vec::new();
+        for _ in 0..800 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = x % 4;
+            let reps = 1 + (x >> 8) % 6;
+            input.extend(std::iter::repeat_n(v, reps as usize));
+        }
+        let mut s = Sequitur::new_rle();
+        for &v in &input {
+            s.push(v);
+        }
+        s.assert_invariants();
+        let g = s.into_grammar();
+        assert_eq!(g.expand(), input);
+        for i in 0..g.num_rules() {
+            assert_eq!(g.rules()[i].expansion_len, g.expand_rule(i).len());
+        }
     }
 }

@@ -66,6 +66,11 @@ pub fn walk_grammar(grammar: &Grammar) -> GrammarWalk {
             // terminal inside a descended rule body belongs to the training
             // pass of a stream that recurs later.
             Sym::T(_) => walk.class_codes.push(if r == 0 { 0 } else { 1 }),
+            // A run symbol stands for `c` adjacent terminals; classify each
+            // the same way a plain terminal in this position would be.
+            Sym::Run(_, c) => walk
+                .class_codes
+                .extend(std::iter::repeat_n(if r == 0 { 0 } else { 1 }, c as usize)),
             Sym::R(q) => {
                 counts[q] += 1;
                 let len = rules[q].expansion_len;

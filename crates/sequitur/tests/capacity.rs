@@ -1,0 +1,56 @@
+//! Capacity-hint contract: `Sequitur::with_capacity(n)` must reserve
+//! enough for an `n`-terminal build up front.
+//!
+//! The previous implementation reserved only `n / 2` digram slots — an
+//! under-reservation that guaranteed at least one mid-build rehash on
+//! low-repetition streams (where the digram count approaches `n`),
+//! exactly the workload the capacity hint exists for.
+
+use tifs_sequitur::grammar::Sequitur;
+
+/// An incompressible stream maximizes live digrams: every adjacent pair
+/// is distinct, so after `n` pushes the index holds `n - 1` entries.
+#[test]
+fn presized_build_never_grows_digram_table_worst_case() {
+    let n = 10_000;
+    let mut s = Sequitur::with_capacity(n);
+    let slots_at_start = s.digram_slots();
+    for x in 0..n as u64 {
+        s.push(x);
+    }
+    assert_eq!(
+        s.digram_slots(),
+        slots_at_start,
+        "pre-sized build rehashed the digram table"
+    );
+    assert_eq!(s.into_grammar().expand().len(), n);
+}
+
+/// Repetitive streams churn the table (insert/remove during cascades)
+/// but keep fewer live entries; they must not rehash either.
+#[test]
+fn presized_build_never_grows_digram_table_repetitive() {
+    let n = 10_000;
+    let mut x: u64 = 0x1234_5678_9ABC_DEF0;
+    let mut s = Sequitur::with_capacity(n);
+    let slots_at_start = s.digram_slots();
+    for _ in 0..n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.push(x % 8);
+    }
+    assert_eq!(s.digram_slots(), slots_at_start);
+    assert_eq!(s.into_grammar().expand().len(), n);
+}
+
+/// The hint is an optimization, never a limit: exceeding it still works.
+#[test]
+fn exceeding_the_hint_is_fine() {
+    let mut s = Sequitur::with_capacity(16);
+    for x in 0..4_000u64 {
+        s.push(x);
+    }
+    assert!(s.digram_slots() > Sequitur::with_capacity(16).digram_slots());
+    assert_eq!(s.into_grammar().expand().len(), 4_000);
+}

@@ -1,0 +1,113 @@
+//! Pre-rewrite oracle suite for the grammar engine.
+//!
+//! These properties were landed against the linked-list/`HashMap`
+//! implementation *before* the arena rewrite and must stay green across
+//! any engine swap — they are the behavioural contract every SEQUITUR
+//! backend has to satisfy, independent of internal representation:
+//!
+//! * `expand()` round-trips arbitrary pushed streams exactly;
+//! * `expansion_len` agrees with `expand_rule(id).len()` for every rule;
+//! * both SEQUITUR invariants hold after every single push.
+
+use proptest::prelude::*;
+use tifs_sequitur::grammar::Sequitur;
+
+/// Streams with heavy repetition (small alphabet), the regime SEQUITUR
+/// targets and where cascades, rule minting, and inlining all trigger.
+fn dense_stream() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..5, 0..400)
+}
+
+/// Streams of runs: pathological for digram overlap handling and the
+/// regime the RLE mode exists for.
+fn runny_stream() -> impl Strategy<Value = Vec<u64>> {
+    proptest::strategy::fn_strategy(|rng| {
+        let runs = prop::collection::vec((0u64..4, 1usize..12), 0..40).generate(rng);
+        runs.into_iter()
+            .flat_map(|(v, k)| std::iter::repeat_n(v, k))
+            .collect()
+    })
+}
+
+/// Mixed-alphabet streams: sparse repetition plus large terminal values
+/// (including ones with high bits set, so no symbol-packing shortcut in
+/// any engine can survive this suite).
+fn wide_stream() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![0u64..30, u64::MAX - 5..=u64::MAX, any::<u64>(),],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn expand_roundtrips_dense(stream in dense_stream()) {
+        let mut s = Sequitur::new();
+        s.extend(stream.iter().copied());
+        let g = s.into_grammar();
+        prop_assert_eq!(g.expand(), stream);
+    }
+
+    #[test]
+    fn expand_roundtrips_runny(stream in runny_stream()) {
+        let mut s = Sequitur::new();
+        s.extend(stream.iter().copied());
+        let g = s.into_grammar();
+        prop_assert_eq!(g.expand(), stream);
+    }
+
+    #[test]
+    fn expand_roundtrips_wide(stream in wide_stream()) {
+        let mut s = Sequitur::new();
+        s.extend(stream.iter().copied());
+        let g = s.into_grammar();
+        prop_assert_eq!(g.expand(), stream);
+    }
+
+    #[test]
+    fn expansion_len_matches_expand_rule_for_every_rule(stream in dense_stream()) {
+        let mut s = Sequitur::new();
+        s.extend(stream.iter().copied());
+        let g = s.into_grammar();
+        for id in 0..g.num_rules() {
+            prop_assert_eq!(
+                g.rules()[id].expansion_len,
+                g.expand_rule(id).len(),
+                "rule {}", id
+            );
+        }
+        prop_assert_eq!(g.start().expansion_len, stream.len());
+    }
+
+    #[test]
+    fn invariants_hold_after_every_push(stream in prop::collection::vec(0u64..4, 0..100)) {
+        let mut s = Sequitur::new();
+        for (i, &x) in stream.iter().enumerate() {
+            s.push(x);
+            prop_assert_eq!(s.len(), i + 1);
+            s.assert_invariants();
+        }
+    }
+
+    #[test]
+    fn invariants_hold_after_every_push_runny(stream in runny_stream()) {
+        let mut s = Sequitur::new();
+        for &x in &stream {
+            s.push(x);
+            s.assert_invariants();
+        }
+        prop_assert_eq!(s.into_grammar().expand(), stream);
+    }
+
+    #[test]
+    fn presized_builder_matches_default(stream in dense_stream()) {
+        // Capacity hints must never change the grammar.
+        let mut a = Sequitur::new();
+        let mut b = Sequitur::with_capacity(stream.len());
+        a.extend(stream.iter().copied());
+        b.extend(stream.iter().copied());
+        let (ga, gb) = (a.into_grammar(), b.into_grammar());
+        prop_assert_eq!(ga.rules(), gb.rules());
+        prop_assert_eq!(ga.stats(), gb.stats());
+    }
+}

@@ -1,399 +1,17 @@
 //! Deterministic, cache-friendly replacements for the std collections
 //! that used to sit on the per-cycle simulation path.
 //!
-//! Two structures live here:
+//! The structures themselves now live in the shared `tifs-collections`
+//! crate, because the SEQUITUR grammar engine (`tifs-sequitur`) adopted
+//! the same open-addressed idiom for its digram index and the two crates
+//! must not depend on each other. This module re-exports them under the
+//! path the simulator has always used; see `tifs_collections` for the
+//! full documentation and the design notes on structural drain order
+//! ([`FillQueue`]) and backward-shift deletion ([`BlockMap`]).
 //!
-//! * [`FillQueue`] — the pending-fill set used by the next-line engine,
-//!   the FDIP and discontinuity prefetchers, and the SVBs. It keeps its
-//!   entries sorted so *drain order is structural*: completions pop in
-//!   `(ready, block)` order by construction, which is exactly the order
-//!   the PR 1-era `HashMap` + sort-before-drain workaround produced.
-//!   Draining is a single comparison against the tail when nothing is
-//!   ready — the common case every cycle — instead of an allocate,
-//!   iterate, and sort over the whole map.
-//! * [`BlockMap`] — an open-addressed block-address map (fibonacci
-//!   hashing, linear probing, backward-shift deletion, so no tombstones
-//!   ever accumulate) for point-lookup tables that are never iterated,
-//!   like the TIFS Index Table. Layout is deterministic but iteration
-//!   order still is not part of its contract; it deliberately exposes
-//!   no iterator.
-//!
-//! Both are semantically equivalent to the `HashMap`-based structures
-//! they replace (the `fill_queue_matches_hashmap_model` /
+//! Both remain semantically equivalent to the `HashMap`-based structures
+//! they replaced (the `fill_queue_matches_hashmap_model` /
 //! `block_map_matches_hashmap_model` proptests in `tests/` pin this);
 //! the difference is purely cost and the determinism of drain order.
 
-use tifs_trace::BlockAddr;
-
-/// A pending-fill set: blocks in flight toward a buffer, each carried
-/// with its completion cycle and an optional payload.
-///
-/// Entries are stored sorted *descending* by `(ready, block)`, so the
-/// next completion is always the tail element: [`FillQueue::pop_ready`]
-/// is a tail compare (and pop), and successive pops drain completions in
-/// ascending `(ready, block)` order — the structural replacement for
-/// sorting a drained `HashMap`. Membership operations scan linearly,
-/// which beats hashing at the handful-of-entries sizes these queues
-/// reach (MSHR-bounded, tens at most).
-///
-/// # Example
-///
-/// ```
-/// use tifs_sim::collections::FillQueue;
-/// use tifs_trace::BlockAddr;
-///
-/// let mut q: FillQueue = FillQueue::new();
-/// q.insert(20, BlockAddr(7), ());
-/// q.insert(10, BlockAddr(9), ());
-/// assert!(q.contains(BlockAddr(9)));
-/// assert_eq!(q.pop_ready(5), None);
-/// assert_eq!(q.pop_ready(20), Some((10, BlockAddr(9), ())));
-/// assert_eq!(q.pop_ready(20), Some((20, BlockAddr(7), ())));
-/// ```
-#[derive(Clone, Debug)]
-pub struct FillQueue<V = ()> {
-    /// Sorted descending by `(ready, block)`; the tail is next to finish.
-    entries: Vec<(u64, BlockAddr, V)>,
-}
-
-impl<V> Default for FillQueue<V> {
-    fn default() -> FillQueue<V> {
-        FillQueue::new()
-    }
-}
-
-impl<V> FillQueue<V> {
-    /// Creates an empty queue.
-    pub fn new() -> FillQueue<V> {
-        FillQueue {
-            entries: Vec::new(),
-        }
-    }
-
-    /// Number of blocks in flight.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// Returns `true` if nothing is in flight.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// Whether `block` is in flight.
-    pub fn contains(&self, block: BlockAddr) -> bool {
-        self.entries.iter().any(|e| e.1 == block)
-    }
-
-    /// The completion cycle of `block`, if in flight.
-    pub fn ready_of(&self, block: BlockAddr) -> Option<u64> {
-        self.entries.iter().find(|e| e.1 == block).map(|e| e.0)
-    }
-
-    /// Inserts `block` completing at `ready`; replaces any existing entry
-    /// for the same block (`HashMap::insert` upsert semantics).
-    pub fn insert(&mut self, ready: u64, block: BlockAddr, value: V) {
-        if let Some(pos) = self.entries.iter().position(|e| e.1 == block) {
-            self.entries.remove(pos);
-        }
-        let at = self
-            .entries
-            .partition_point(|e| (e.0, e.1) > (ready, block));
-        self.entries.insert(at, (ready, block, value));
-    }
-
-    /// Removes `block` if in flight, returning its `(ready, value)`.
-    pub fn remove(&mut self, block: BlockAddr) -> Option<(u64, V)> {
-        let pos = self.entries.iter().position(|e| e.1 == block)?;
-        let (ready, _, value) = self.entries.remove(pos);
-        Some((ready, value))
-    }
-
-    /// Pops the next completed entry: the in-flight block with the
-    /// smallest `(ready, block)` whose `ready <= now`, or `None` when no
-    /// fill has completed. Calling until `None` drains this cycle's
-    /// completions in ascending `(ready, block)` order.
-    pub fn pop_ready(&mut self, now: u64) -> Option<(u64, BlockAddr, V)> {
-        match self.entries.last() {
-            Some(e) if e.0 <= now => self.entries.pop(),
-            _ => None,
-        }
-    }
-
-    /// Iterates the in-flight entries in descending `(ready, block)`
-    /// order (a deterministic order, unlike the `HashMap` it replaced).
-    pub fn iter(&self) -> impl Iterator<Item = &(u64, BlockAddr, V)> {
-        self.entries.iter()
-    }
-}
-
-/// Sentinel for an empty [`BlockMap`] slot. No simulated block address
-/// ever reaches it: block addresses are instruction addresses divided by
-/// the 64-byte block size, so the top six bits are always clear.
-const EMPTY: u64 = u64::MAX;
-
-/// An open-addressed map over block addresses: fibonacci hashing, linear
-/// probing, backward-shift deletion (tombstone-free — deletes restore
-/// the layout inserts would have produced, so probe chains never rot).
-///
-/// Built for point lookups on the per-cycle path (the TIFS Index Table);
-/// it exposes no iteration, so callers can never depend on slot order.
-///
-/// # Example
-///
-/// ```
-/// use tifs_sim::collections::BlockMap;
-/// use tifs_trace::BlockAddr;
-///
-/// let mut m: BlockMap<u32> = BlockMap::new();
-/// assert_eq!(m.insert(BlockAddr(3), 7), None);
-/// assert_eq!(m.insert(BlockAddr(3), 9), Some(7));
-/// assert_eq!(m.get(BlockAddr(3)), Some(9));
-/// assert_eq!(m.remove(BlockAddr(3)), Some(9));
-/// assert!(m.is_empty());
-/// ```
-#[derive(Clone, Debug)]
-pub struct BlockMap<V> {
-    keys: Vec<u64>,
-    vals: Vec<V>,
-    len: usize,
-    mask: usize,
-}
-
-impl<V: Copy + Default> Default for BlockMap<V> {
-    fn default() -> BlockMap<V> {
-        BlockMap::new()
-    }
-}
-
-impl<V: Copy + Default> BlockMap<V> {
-    /// Creates an empty map with a small initial table.
-    pub fn new() -> BlockMap<V> {
-        BlockMap::with_capacity(8)
-    }
-
-    /// Creates a map that can hold `capacity` entries before growing.
-    pub fn with_capacity(capacity: usize) -> BlockMap<V> {
-        // Keep load ≤ 7/8: smallest power of two with room for `capacity`.
-        let mut slots = 8usize;
-        while slots * 7 < capacity * 8 {
-            slots *= 2;
-        }
-        BlockMap {
-            keys: vec![EMPTY; slots],
-            vals: vec![V::default(); slots],
-            len: 0,
-            mask: slots - 1,
-        }
-    }
-
-    /// Number of entries.
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// Returns `true` if the map has no entries.
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    #[inline]
-    fn home(&self, key: u64) -> usize {
-        // Fibonacci hashing: multiply by 2^64/φ and keep the top bits —
-        // strong mixing for the low bits that index the table, and no
-        // per-byte hash loop like the std SipHash the map replaces.
-        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        (h >> 32) as usize & self.mask
-    }
-
-    /// Finds the slot holding `key`, or the empty slot where it would go.
-    #[inline]
-    fn probe(&self, key: u64) -> usize {
-        let mut i = self.home(key);
-        loop {
-            let k = self.keys[i];
-            if k == key || k == EMPTY {
-                return i;
-            }
-            i = (i + 1) & self.mask;
-        }
-    }
-
-    /// The value stored for `block`, if any.
-    #[inline]
-    pub fn get(&self, block: BlockAddr) -> Option<V> {
-        let i = self.probe(block.0);
-        (self.keys[i] != EMPTY).then(|| self.vals[i])
-    }
-
-    /// Whether `block` has an entry.
-    #[inline]
-    pub fn contains(&self, block: BlockAddr) -> bool {
-        self.keys[self.probe(block.0)] != EMPTY
-    }
-
-    /// Inserts or replaces the entry for `block`, returning the previous
-    /// value if one existed.
-    ///
-    /// # Panics
-    ///
-    /// Panics (debug only) on the reserved sentinel address.
-    pub fn insert(&mut self, block: BlockAddr, value: V) -> Option<V> {
-        debug_assert_ne!(block.0, EMPTY, "BlockMap sentinel address");
-        let i = self.probe(block.0);
-        if self.keys[i] == block.0 {
-            return Some(std::mem::replace(&mut self.vals[i], value));
-        }
-        self.keys[i] = block.0;
-        self.vals[i] = value;
-        self.len += 1;
-        if self.len * 8 > self.keys.len() * 7 {
-            self.grow();
-        }
-        None
-    }
-
-    /// Removes the entry for `block`, returning its value if present.
-    pub fn remove(&mut self, block: BlockAddr) -> Option<V> {
-        let mut i = self.probe(block.0);
-        if self.keys[i] == EMPTY {
-            return None;
-        }
-        let value = self.vals[i];
-        self.keys[i] = EMPTY;
-        self.len -= 1;
-        // Backward-shift: pull every displaced follower in the probe
-        // chain back over the hole, leaving the table exactly as if the
-        // removed key had never been inserted.
-        let mask = self.mask;
-        let mut j = i;
-        loop {
-            j = (j + 1) & mask;
-            if self.keys[j] == EMPTY {
-                break;
-            }
-            let h = self.home(self.keys[j]);
-            // `j`'s entry may fill the hole at `i` iff `i` lies on its
-            // probe path, i.e. the hole is no further from its home than
-            // its current slot (cyclic distances).
-            if (j.wrapping_sub(h) & mask) >= (j.wrapping_sub(i) & mask) {
-                self.keys[i] = self.keys[j];
-                self.vals[i] = self.vals[j];
-                self.keys[j] = EMPTY;
-                i = j;
-            }
-        }
-        Some(value)
-    }
-
-    fn grow(&mut self) {
-        let new_slots = self.keys.len() * 2;
-        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_slots]);
-        let old_vals = std::mem::replace(&mut self.vals, vec![V::default(); new_slots]);
-        self.mask = new_slots - 1;
-        self.len = 0;
-        for (k, v) in old_keys.into_iter().zip(old_vals) {
-            if k != EMPTY {
-                self.insert(BlockAddr(k), v);
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fill_queue_pops_in_ready_then_block_order() {
-        let mut q: FillQueue = FillQueue::new();
-        // Scrambled insertion order; two entries tie on `ready`.
-        for (r, b) in [(30, 5), (10, 9), (30, 2), (20, 7)] {
-            q.insert(r, BlockAddr(b), ());
-        }
-        assert_eq!(q.len(), 4);
-        let mut drained = Vec::new();
-        while let Some((r, b, ())) = q.pop_ready(30) {
-            drained.push((r, b.0));
-        }
-        assert_eq!(drained, vec![(10, 9), (20, 7), (30, 2), (30, 5)]);
-    }
-
-    #[test]
-    fn fill_queue_pop_ready_respects_now() {
-        let mut q: FillQueue = FillQueue::new();
-        q.insert(10, BlockAddr(1), ());
-        q.insert(20, BlockAddr(2), ());
-        assert_eq!(q.pop_ready(9), None);
-        assert_eq!(q.pop_ready(10), Some((10, BlockAddr(1), ())));
-        assert_eq!(q.pop_ready(10), None);
-        assert_eq!(q.pop_ready(25), Some((20, BlockAddr(2), ())));
-        assert!(q.is_empty());
-    }
-
-    #[test]
-    fn fill_queue_insert_is_upsert() {
-        let mut q: FillQueue<u8> = FillQueue::new();
-        q.insert(10, BlockAddr(1), 1);
-        q.insert(30, BlockAddr(1), 2);
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.ready_of(BlockAddr(1)), Some(30));
-        assert_eq!(q.remove(BlockAddr(1)), Some((30, 2)));
-        assert_eq!(q.remove(BlockAddr(1)), None);
-    }
-
-    #[test]
-    fn block_map_basic_ops() {
-        let mut m: BlockMap<u64> = BlockMap::new();
-        for i in 0..100u64 {
-            assert_eq!(m.insert(BlockAddr(i), i * 3), None);
-        }
-        assert_eq!(m.len(), 100);
-        for i in 0..100u64 {
-            assert_eq!(m.get(BlockAddr(i)), Some(i * 3));
-        }
-        assert_eq!(m.get(BlockAddr(100)), None);
-        for i in (0..100u64).step_by(2) {
-            assert_eq!(m.remove(BlockAddr(i)), Some(i * 3));
-        }
-        assert_eq!(m.len(), 50);
-        for i in 0..100u64 {
-            let expect = (i % 2 == 1).then_some(i * 3);
-            assert_eq!(m.get(BlockAddr(i)), expect);
-        }
-    }
-
-    #[test]
-    fn block_map_backward_shift_keeps_chains_reachable() {
-        // Force one probe cluster: keys that collide modulo the table
-        // size after fibonacci mixing are hard to construct by hand, so
-        // instead hammer a tiny map with inserts and interleaved removes
-        // and check every survivor stays reachable.
-        let mut m: BlockMap<u64> = BlockMap::with_capacity(4);
-        let keys: Vec<u64> = (0..64).map(|i| i * 0x10_0001 + 7).collect();
-        for &k in &keys {
-            m.insert(BlockAddr(k), !k);
-        }
-        for (n, &k) in keys.iter().enumerate() {
-            if n % 3 == 0 {
-                assert_eq!(m.remove(BlockAddr(k)), Some(!k));
-            }
-        }
-        for (n, &k) in keys.iter().enumerate() {
-            let expect = (n % 3 != 0).then_some(!k);
-            assert_eq!(m.get(BlockAddr(k)), expect, "key {k:#x}");
-        }
-    }
-
-    #[test]
-    fn block_map_grows_past_initial_capacity() {
-        let mut m: BlockMap<u64> = BlockMap::with_capacity(8);
-        for i in 0..10_000u64 {
-            m.insert(BlockAddr(i * 31), i);
-        }
-        assert_eq!(m.len(), 10_000);
-        for i in 0..10_000u64 {
-            assert_eq!(m.get(BlockAddr(i * 31)), Some(i));
-        }
-    }
-}
+pub use tifs_collections::{BlockMap, FillQueue};
