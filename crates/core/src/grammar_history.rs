@@ -1,0 +1,438 @@
+//! Grammar-compressed temporal history (the `TifsGrammar` arm).
+//!
+//! TIFS records raw miss logs; this organization folds each core's retired
+//! miss stream into a budget-bounded SEQUITUR grammar instead
+//! ([`tifs_sequitur::StreamingSequitur`]). Recurring streams collapse into
+//! rules, so under one storage budget the grammar retains a far longer
+//! history window than the 39-bit-per-entry IML — the paper's Section 4
+//! observation (temporal streams recur) applied to the metadata itself.
+//!
+//! Prediction replaces the IML's pointer-chase: periodically the live
+//! grammar is snapshotted, walked ([`walk_grammar`]) to find the rules that
+//! actually recur at instance level, and the head block of each recurring
+//! rule is indexed in a [`BlockMap`]. A later miss on a head block predicts
+//! the rest of that rule's expansion as the stream to prefetch.
+//!
+//! Storage is charged honestly: live grammar arena nodes at
+//! [`GRAMMAR_NODE_BYTES`] each, plus indexed heads at
+//! [`GRAMMAR_INDEX_SLOT_BYTES`] each. A fixed quarter of the per-core
+//! budget is reserved for the head index; the grammar gets the rest.
+
+use tifs_sequitur::{walk_grammar, Grammar, StreamingSequitur, Sym};
+use tifs_sim::collections::BlockMap;
+use tifs_trace::BlockAddr;
+
+use crate::iml::ImlEntry;
+
+pub use tifs_sequitur::GRAMMAR_NODE_BYTES;
+
+/// Modeled SRAM cost of one rule-head index slot, in bytes (38-bit head
+/// block address + rule id + valid bit, rounded up).
+pub const GRAMMAR_INDEX_SLOT_BYTES: usize = 8;
+
+/// Configuration of the grammar-compressed history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GrammarHistoryConfig {
+    /// Total per-core metadata budget in bytes (grammar nodes + head
+    /// index). The default matches TIFS-dedicated's 8K x 39-bit entries.
+    pub budget_bytes_per_core: usize,
+    /// Run-length-encode repeated terminals in the grammar.
+    pub rle: bool,
+    /// Appends between snapshot/index rebuilds.
+    pub refresh_interval: u64,
+    /// Longest stream (in blocks) delivered per rule-head hit.
+    pub max_stream: usize,
+}
+
+impl GrammarHistoryConfig {
+    /// Iso-storage with [`crate::TifsConfig::DEFAULT_ENTRIES_PER_CORE`]
+    /// 39-bit IML entries: 8192 x 39 / 8 bytes.
+    pub const DEFAULT_BUDGET_BYTES_PER_CORE: usize = 39_936;
+}
+
+impl Default for GrammarHistoryConfig {
+    fn default() -> GrammarHistoryConfig {
+        GrammarHistoryConfig {
+            budget_bytes_per_core: Self::DEFAULT_BUDGET_BYTES_PER_CORE,
+            rle: false,
+            refresh_interval: 1024,
+            max_stream: 64,
+        }
+    }
+}
+
+/// One core's slice of the grammar history.
+#[derive(Debug)]
+struct CoreHistory {
+    builder: StreamingSequitur,
+    /// Last refreshed snapshot; streams are expanded from here.
+    snapshot: Grammar,
+    /// Head block -> rule index in `snapshot`.
+    heads: BlockMap<u32>,
+    appends_since_refresh: u64,
+}
+
+/// Per-core grammar-compressed miss history with a rule-head index.
+#[derive(Debug)]
+pub struct GrammarHistory {
+    cfg: GrammarHistoryConfig,
+    cores: Vec<CoreHistory>,
+    /// Head-index slots each core may fill (a quarter of the budget).
+    index_capacity: usize,
+    refreshes: u64,
+    appends: u64,
+    /// Lifetime evictions at the last counter reset (warmup discard).
+    evicted_baseline: u64,
+}
+
+impl GrammarHistory {
+    /// Creates the history for `num_cores` cores, splitting each core's
+    /// budget between the grammar (3/4) and the head index (1/4).
+    pub fn new(num_cores: usize, cfg: GrammarHistoryConfig) -> GrammarHistory {
+        let index_budget = cfg.budget_bytes_per_core / 4;
+        let grammar_budget = cfg.budget_bytes_per_core - index_budget;
+        GrammarHistory {
+            cfg,
+            cores: (0..num_cores)
+                .map(|_| {
+                    let builder = StreamingSequitur::new(grammar_budget, cfg.rle);
+                    let snapshot = builder.snapshot();
+                    CoreHistory {
+                        builder,
+                        snapshot,
+                        heads: BlockMap::new(),
+                        appends_since_refresh: 0,
+                    }
+                })
+                .collect(),
+            index_capacity: index_budget / GRAMMAR_INDEX_SLOT_BYTES,
+            refreshes: 0,
+            appends: 0,
+            evicted_baseline: 0,
+        }
+    }
+
+    /// Folds one retired miss into `core`'s grammar, refreshing the
+    /// snapshot and head index every `refresh_interval` appends.
+    pub fn append(&mut self, core: usize, block: BlockAddr) {
+        let c = &mut self.cores[core];
+        c.builder.push(block.0);
+        c.appends_since_refresh += 1;
+        self.appends += 1;
+        if c.appends_since_refresh >= self.cfg.refresh_interval {
+            self.refresh(core);
+        }
+    }
+
+    /// Rebuilds `core`'s snapshot and head index from the live grammar.
+    /// Rules are indexed by how often they recur in the walked expansion
+    /// (instance counts, not static usage), most-recurrent first; on a
+    /// head-block collision the more recurrent rule keeps the slot.
+    fn refresh(&mut self, core: usize) {
+        let c = &mut self.cores[core];
+        c.appends_since_refresh = 0;
+        self.refreshes += 1;
+        c.snapshot = c.builder.snapshot();
+        let walk = walk_grammar(&c.snapshot);
+        // Instance count per rule: the highest occurrence number seen.
+        let mut instances = vec![0usize; c.snapshot.num_rules()];
+        for o in &walk.occurrences {
+            instances[o.rule] = instances[o.rule].max(o.occurrence);
+        }
+        // Only rules that recur (>= 2 instances) and predict at least one
+        // follow-on block (expansion >= 2) are worth a slot.
+        let rules = c.snapshot.rules();
+        let mut candidates: Vec<(usize, usize)> = instances
+            .iter()
+            .enumerate()
+            .filter(|&(r, &n)| n >= 2 && rules[r].expansion_len >= 2)
+            .map(|(r, &n)| (r, n))
+            .collect();
+        candidates.sort_by(|a, b| {
+            (b.1, rules[b.0].expansion_len, a.0).cmp(&(a.1, rules[a.0].expansion_len, b.0))
+        });
+        c.heads = BlockMap::with_capacity(self.index_capacity.min(candidates.len()));
+        let mut filled = 0usize;
+        for (r, _) in candidates {
+            if filled >= self.index_capacity {
+                break;
+            }
+            let Some(head) = first_terminal(&c.snapshot, r) else {
+                continue;
+            };
+            let head = BlockAddr(head);
+            // Most-recurrent-first order: an occupied slot outranks us.
+            if c.heads.contains(head) {
+                continue;
+            }
+            c.heads.insert(head, r as u32);
+            filled += 1;
+        }
+    }
+
+    /// Predicts the stream following a miss on `block`: if `block` heads
+    /// an indexed recurring rule, returns the rest of that rule's
+    /// expansion (up to `max_stream` blocks) as SVB-ready entries. All
+    /// entries carry a set hit bit except the last — the stream provably
+    /// ends there, so end-of-stream detection pauses after it.
+    pub fn lookup(&self, core: usize, block: BlockAddr) -> Option<Vec<ImlEntry>> {
+        let c = &self.cores[core];
+        let rule = c.heads.get(block)? as usize;
+        let terminals = expand_prefix(&c.snapshot, rule, self.cfg.max_stream + 1);
+        if terminals.len() < 2 || BlockAddr(terminals[0]) != block {
+            // A stale snapshot can disagree with the index only in tests
+            // that poke refresh directly; a rebuilt index never does.
+            return None;
+        }
+        let tail = &terminals[1..];
+        Some(
+            tail.iter()
+                .enumerate()
+                .map(|(i, &t)| ImlEntry {
+                    block: BlockAddr(t),
+                    svb_hit: i + 1 < tail.len(),
+                })
+                .collect(),
+        )
+    }
+
+    /// Charged storage right now: live grammar nodes plus indexed heads.
+    pub fn storage_bytes(&self) -> usize {
+        self.cores
+            .iter()
+            .map(|c| c.builder.storage_bytes() + c.heads.len() * GRAMMAR_INDEX_SLOT_BYTES)
+            .sum()
+    }
+
+    /// Live grammar arena nodes across all cores.
+    pub fn live_nodes(&self) -> usize {
+        self.cores.iter().map(|c| c.builder.live_nodes()).sum()
+    }
+
+    /// Rules across all snapshots (including start rules).
+    pub fn num_rules(&self) -> usize {
+        self.cores.iter().map(|c| c.snapshot.num_rules()).sum()
+    }
+
+    /// Indexed rule heads across all cores.
+    pub fn index_entries(&self) -> usize {
+        self.cores.iter().map(|c| c.heads.len()).sum()
+    }
+
+    /// Head-index slots available per core.
+    pub fn index_capacity(&self) -> usize {
+        self.index_capacity
+    }
+
+    /// Snapshot/index rebuilds since the last counter reset.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Misses folded in since the last counter reset.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Terminals evicted by budget enforcement since the last reset.
+    pub fn evicted_terminals(&self) -> u64 {
+        let total: u64 = self
+            .cores
+            .iter()
+            .map(|c| c.builder.evicted_terminals())
+            .sum();
+        total - self.evicted_baseline
+    }
+
+    /// Zeroes event counters (warmup discard); contents are preserved.
+    pub fn reset_counters(&mut self) {
+        self.refreshes = 0;
+        self.appends = 0;
+        self.evicted_baseline = self
+            .cores
+            .iter()
+            .map(|c| c.builder.evicted_terminals())
+            .sum();
+    }
+}
+
+/// First terminal of `rule`'s expansion, skipping zero-count runs.
+fn first_terminal(g: &Grammar, rule: usize) -> Option<u64> {
+    let mut r = rule;
+    'descend: loop {
+        for &s in &g.rules()[r].symbols {
+            match s {
+                Sym::T(t) => return Some(t),
+                Sym::Run(t, c) if c > 0 => return Some(t),
+                Sym::Run(_, _) => continue,
+                Sym::R(q) => {
+                    if g.rules()[q].expansion_len == 0 {
+                        continue;
+                    }
+                    r = q;
+                    continue 'descend;
+                }
+            }
+        }
+        return None;
+    }
+}
+
+/// First `n` terminals of `rule`'s expansion (bounded — never materializes
+/// a huge run or deep expansion past the cap).
+fn expand_prefix(g: &Grammar, rule: usize, n: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n.min(g.rules()[rule].expansion_len));
+    let mut stack: Vec<(usize, usize)> = vec![(rule, 0)];
+    while let Some((r, i)) = stack.pop() {
+        if out.len() >= n {
+            break;
+        }
+        if i >= g.rules()[r].symbols.len() {
+            continue;
+        }
+        stack.push((r, i + 1));
+        match g.rules()[r].symbols[i] {
+            Sym::T(t) => out.push(t),
+            Sym::Run(t, c) => {
+                let take = (c as usize).min(n - out.len());
+                out.extend(std::iter::repeat_n(t, take));
+            }
+            Sym::R(q) => stack.push((q, 0)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A recurring 8-block stream at 100.., separated by unique noise.
+    fn feed_recurring(h: &mut GrammarHistory, reps: u64) {
+        for i in 0..reps {
+            for b in 100..108u64 {
+                h.append(0, BlockAddr(b));
+            }
+            h.append(0, BlockAddr(1_000_000 + i));
+        }
+    }
+
+    #[test]
+    fn recurring_stream_becomes_a_lookup_hit() {
+        let mut h = GrammarHistory::new(
+            1,
+            GrammarHistoryConfig {
+                refresh_interval: 64,
+                ..GrammarHistoryConfig::default()
+            },
+        );
+        feed_recurring(&mut h, 40);
+        assert!(h.refreshes() > 0);
+        let stream = h
+            .lookup(0, BlockAddr(100))
+            .expect("a 40x-recurring stream head must be indexed");
+        // The predicted stream follows the head: 101, 102, ...
+        assert!(stream.len() >= 4, "stream too short: {}", stream.len());
+        assert_eq!(stream[0].block, BlockAddr(101));
+        assert_eq!(stream[1].block, BlockAddr(102));
+        // Every entry streams eagerly except the provable stream end.
+        let (last, body) = stream.split_last().unwrap();
+        assert!(body.iter().all(|e| e.svb_hit));
+        assert!(!last.svb_hit);
+    }
+
+    #[test]
+    fn unindexed_block_misses_cleanly() {
+        let mut h = GrammarHistory::new(1, GrammarHistoryConfig::default());
+        feed_recurring(&mut h, 5);
+        assert_eq!(h.lookup(0, BlockAddr(42)), None);
+        assert_eq!(
+            h.lookup(0, BlockAddr(1_000_001)),
+            None,
+            "noise never recurs"
+        );
+    }
+
+    #[test]
+    fn storage_stays_under_budget() {
+        let cfg = GrammarHistoryConfig {
+            budget_bytes_per_core: 2048,
+            refresh_interval: 128,
+            ..GrammarHistoryConfig::default()
+        };
+        let mut h = GrammarHistory::new(2, cfg);
+        let mut x: u64 = 7;
+        for i in 0..20_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.append((i % 2) as usize, BlockAddr(100 * (1 + x % 8) + i % 12));
+            assert!(
+                h.storage_bytes() <= 2 * cfg.budget_bytes_per_core,
+                "over budget at append {i}: {} bytes",
+                h.storage_bytes()
+            );
+        }
+        assert!(h.evicted_terminals() > 0, "a 2 KB budget must evict");
+    }
+
+    #[test]
+    fn max_stream_caps_delivery() {
+        let mut h = GrammarHistory::new(
+            1,
+            GrammarHistoryConfig {
+                refresh_interval: 256,
+                max_stream: 4,
+                ..GrammarHistoryConfig::default()
+            },
+        );
+        for i in 0..50u64 {
+            for b in 200..232u64 {
+                h.append(0, BlockAddr(b));
+            }
+            h.append(0, BlockAddr(2_000_000 + i));
+        }
+        if let Some(stream) = h.lookup(0, BlockAddr(200)) {
+            assert!(stream.len() <= 4, "cap violated: {}", stream.len());
+        }
+    }
+
+    #[test]
+    fn reset_counters_preserves_contents() {
+        let mut h = GrammarHistory::new(
+            1,
+            GrammarHistoryConfig {
+                refresh_interval: 64,
+                ..GrammarHistoryConfig::default()
+            },
+        );
+        feed_recurring(&mut h, 40);
+        let hit_before = h.lookup(0, BlockAddr(100)).is_some();
+        h.reset_counters();
+        assert_eq!(h.refreshes(), 0);
+        assert_eq!(h.appends(), 0);
+        assert_eq!(h.evicted_terminals(), 0);
+        assert_eq!(h.lookup(0, BlockAddr(100)).is_some(), hit_before);
+    }
+
+    #[test]
+    fn index_respects_its_capacity() {
+        // A tiny budget leaves very few index slots; many distinct
+        // recurring streams must not blow past them.
+        let cfg = GrammarHistoryConfig {
+            budget_bytes_per_core: 512,
+            refresh_interval: 64,
+            ..GrammarHistoryConfig::default()
+        };
+        let mut h = GrammarHistory::new(1, cfg);
+        assert_eq!(h.index_capacity(), 512 / 4 / GRAMMAR_INDEX_SLOT_BYTES);
+        for i in 0..2_000u64 {
+            let stream = 100 * (1 + i % 16);
+            for b in stream..stream + 6 {
+                h.append(0, BlockAddr(b));
+            }
+            h.append(0, BlockAddr(3_000_000 + i));
+        }
+        assert!(h.index_entries() <= h.index_capacity());
+    }
+}

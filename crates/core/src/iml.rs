@@ -23,9 +23,14 @@ pub const ENTRIES_PER_L2_BLOCK: usize = 12;
 pub const BITS_PER_ENTRY: u64 = 39;
 
 /// Converts a per-chip storage budget in kilobytes to entries per core.
+///
+/// Clamped to at least one entry: a budget smaller than one 39-bit entry
+/// per core still has to yield a usable (if useless) log, not a
+/// zero-capacity one that panics downstream. Iso-storage sweeps at
+/// extreme shares (e.g. 1/64 of 9.75 KB across many cores) hit this.
 pub fn entries_per_core_for_kb(total_kb: f64, cores: usize) -> usize {
     let bits = total_kb * 1024.0 * 8.0;
-    ((bits / BITS_PER_ENTRY as f64) / cores as f64) as usize
+    (((bits / BITS_PER_ENTRY as f64) / cores as f64) as usize).max(1)
 }
 
 /// One logged miss.
@@ -66,7 +71,10 @@ impl Iml {
     /// Creates a log retaining `capacity` entries (`None` = unbounded).
     pub fn new(capacity: Option<usize>) -> Iml {
         if let Some(c) = capacity {
-            assert!(c >= ENTRIES_PER_L2_BLOCK, "capacity too small: {c}");
+            // A log shorter than one virtualized group is legal (tiny
+            // iso-storage budgets produce them); only a zero-capacity log
+            // is meaningless.
+            assert!(c >= 1, "capacity too small: {c}");
         }
         // Bounded logs size their slab once; unbounded ones start small
         // and double on demand.
@@ -238,8 +246,47 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "capacity too small")]
-    fn rejects_tiny_capacity() {
-        Iml::new(Some(4));
+    fn rejects_zero_capacity() {
+        Iml::new(Some(0));
+    }
+
+    #[test]
+    fn sub_group_capacity_works() {
+        // Tiny iso-storage budgets legitimately produce logs shorter than
+        // one virtualized group; they must still ring correctly.
+        let mut iml = Iml::new(Some(4));
+        for i in 0..10u64 {
+            iml.append(BlockAddr(i), false);
+        }
+        assert_eq!(iml.len(), 4);
+        assert!(iml.is_valid(6) && !iml.is_valid(5));
+        assert_eq!(iml.read_group(6, ENTRIES_PER_L2_BLOCK).len(), 4);
+    }
+
+    #[test]
+    fn budget_grid_never_yields_zero_entries() {
+        // Satellite fix: the KB -> entries conversion used to floor to 0
+        // when the per-core share fell below one 39-bit entry, and
+        // `Iml::new(Some(0))` (or the old >= 12 assert) then panicked
+        // inside figure sweeps. Clamp guarantees every (budget, cores)
+        // cell is constructible.
+        let budgets = [0.001, 0.01, 0.6, 2.4375, 4.875, 9.75, 39.0, 156.0];
+        let cores = [1usize, 2, 4, 8, 16, 64];
+        for &kb in &budgets {
+            for &n in &cores {
+                let entries = entries_per_core_for_kb(kb, n);
+                assert!(entries >= 1, "{kb} KB / {n} cores yielded 0 entries");
+                // Every cell must construct a usable bounded log.
+                let mut iml = Iml::new(Some(entries));
+                iml.append(BlockAddr(1), false);
+                assert_eq!(iml.len(), 1);
+            }
+        }
+        // The clamp must not disturb budgets that were already sane.
+        assert_eq!(
+            entries_per_core_for_kb(156.0, 4),
+            ((156.0f64 * 1024.0 * 8.0 / 39.0) / 4.0) as usize
+        );
     }
 
     #[test]

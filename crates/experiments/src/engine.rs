@@ -65,7 +65,8 @@
 use std::sync::OnceLock;
 
 use tifs_core::{
-    CapacityPartition, ImlStorage, IndexKind, MetadataOrg, TifsConfig, TifsPrefetcher,
+    CapacityPartition, GrammarHistoryConfig, ImlStorage, IndexKind, MetadataOrg, TifsConfig,
+    TifsGrammarConfig, TifsGrammarPrefetcher, TifsPrefetcher,
 };
 use tifs_prefetch::{
     DiscontinuityConfig, DiscontinuityPrefetcher, Fdip, FdipConfig, ProbabilisticPrefetcher,
@@ -262,6 +263,13 @@ pub enum SystemSpec {
         /// The configuration under test.
         config: TifsConfig,
     },
+    /// The grammar arm under an explicit configuration.
+    Grammar {
+        /// Display label for tables.
+        label: String,
+        /// The configuration under test.
+        config: TifsGrammarConfig,
+    },
 }
 
 impl From<SystemKind> for SystemSpec {
@@ -279,11 +287,19 @@ impl SystemSpec {
         }
     }
 
+    /// A labelled grammar-arm cell.
+    pub fn grammar(label: impl Into<String>, config: TifsGrammarConfig) -> SystemSpec {
+        SystemSpec::Grammar {
+            label: label.into(),
+            config,
+        }
+    }
+
     /// Display name matching the paper's legends.
     pub fn name(&self) -> String {
         match self {
             SystemSpec::Kind(k) => k.name(),
-            SystemSpec::Tifs { label, .. } => label.clone(),
+            SystemSpec::Tifs { label, .. } | SystemSpec::Grammar { label, .. } => label.clone(),
         }
     }
 }
@@ -299,6 +315,9 @@ pub fn build_prefetcher<'a>(
     let kind = match system {
         SystemSpec::Tifs { config, .. } => {
             return Box::new(TifsPrefetcher::new(sys.num_cores, *config));
+        }
+        SystemSpec::Grammar { config, .. } => {
+            return Box::new(TifsGrammarPrefetcher::new(sys.num_cores, *config));
         }
         SystemSpec::Kind(kind) => *kind,
     };
@@ -325,6 +344,10 @@ pub fn build_prefetcher<'a>(
         )),
         SystemKind::Probabilistic(p) => Box::new(ProbabilisticPrefetcher::new(p, seed ^ 0x9D)),
         SystemKind::Perfect => Box::new(ProbabilisticPrefetcher::perfect(seed ^ 0x9D)),
+        SystemKind::TifsGrammar => Box::new(TifsGrammarPrefetcher::new(
+            sys.num_cores,
+            TifsGrammarConfig::default(),
+        )),
     }
 }
 
@@ -456,13 +479,50 @@ fn hash_system_spec(h: &mut Fingerprint, system: &SystemSpec) {
                     h.f64(*p);
                 }
                 SystemKind::Perfect => h.u64(7),
+                // Append-only: new kinds take the next free discriminant;
+                // earlier kinds' keys are untouched.
+                SystemKind::TifsGrammar => h.u64(8),
             }
         }
         SystemSpec::Tifs { label: _, config } => {
             h.u64(1);
             hash_tifs_config(h, config);
         }
+        // Append-only: a new top-level spec variant takes the next free
+        // discriminant, so every Kind/Tifs key minted before it exists is
+        // unchanged and all pre-existing store entries stay warm.
+        SystemSpec::Grammar { label: _, config } => {
+            h.u64(2);
+            hash_grammar_config(h, config);
+        }
     }
+}
+
+/// Feeds every [`TifsGrammarConfig`] field (exhaustive destructuring, as
+/// [`hash_tifs_config`]): a new field without a hash line is a compile
+/// error, never a stale hit.
+fn hash_grammar_config(h: &mut Fingerprint, cfg: &TifsGrammarConfig) {
+    let TifsGrammarConfig {
+        history:
+            GrammarHistoryConfig {
+                budget_bytes_per_core,
+                rle,
+                refresh_interval,
+                max_stream,
+            },
+        svb_blocks,
+        stream_contexts,
+        rate_target,
+        end_of_stream,
+    } = cfg;
+    h.u64(*budget_bytes_per_core as u64);
+    h.bool(*rle);
+    h.u64(*refresh_interval);
+    h.u64(*max_stream as u64);
+    h.u64(*svb_blocks as u64);
+    h.u64(*stream_contexts as u64);
+    h.u64(*rate_target as u64);
+    h.bool(*end_of_stream);
 }
 
 /// Feeds every [`TifsConfig`] field (exhaustive destructuring).

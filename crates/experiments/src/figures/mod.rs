@@ -1,5 +1,5 @@
 //! One module per reproduced table/figure of the paper's evaluation,
-//! plus post-paper studies ([`fig_sharing`]).
+//! plus post-paper studies ([`fig_sharing`], [`fig_grammar`]).
 
 pub mod fig01;
 pub mod fig03;
@@ -9,5 +9,6 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
+pub mod fig_grammar;
 pub mod fig_sharing;
 pub mod tables;

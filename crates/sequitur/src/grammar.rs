@@ -427,6 +427,130 @@ impl Sequitur {
         Grammar::from_builder(&self)
     }
 
+    /// Exports the current grammar without consuming the builder (the
+    /// streaming prefetcher snapshots its live grammar between pushes).
+    /// An open RLE run is appended to the exported start rule only; the
+    /// builder keeps accumulating it.
+    pub fn to_grammar(&self) -> Grammar {
+        let mut g = Grammar::from_builder(self);
+        if let Some((t, c)) = self.open_run {
+            g.rules[0].symbols.push(match run_value(t, c) {
+                Value::Terminal(t) => Sym::T(t),
+                Value::Run(t, c) => Sym::Run(t, c),
+                _ => unreachable!("run_value yields terminals or runs"),
+            });
+            g.rules[0].expansion_len += c as usize;
+        }
+        g
+    }
+
+    /// Number of live arena nodes (terminals, runs, rule references, and
+    /// rule guards currently reachable). The streaming byte budget
+    /// charges these; freed slots on the free list cost nothing.
+    pub fn live_nodes(&self) -> usize {
+        self.arena.nodes.len() - self.arena.free.len()
+    }
+
+    /// Evicts the oldest input symbol from the start rule, returning the
+    /// number of terminals it expanded to (0 when the grammar is empty).
+    ///
+    /// This is the streaming-eviction primitive: dropping the front of
+    /// rule 0 forgets the oldest history, and a rule whose last
+    /// reference is dropped is reaped in full (body nodes freed, digram
+    /// entries removed, cascading into sub-rules). A rule left at a
+    /// single use is *not* inlined — locating the lone remaining
+    /// reference would cost a full grammar scan per eviction — so
+    /// streaming relaxes rule utility to "referenced at least once"
+    /// ([`Sequitur::assert_invariants_relaxed`]); digram uniqueness and
+    /// index integrity are maintained in full.
+    pub fn evict_front(&mut self) -> usize {
+        let guard = self.rules[0].guard;
+        let first = self.next(guard);
+        if first == guard {
+            // Only the open RLE run (if any) remains.
+            return match self.open_run.take() {
+                Some((t, c)) => {
+                    if c > 1 {
+                        self.open_run = Some((t, c - 1));
+                    }
+                    self.len -= 1;
+                    1
+                }
+                None => 0,
+            };
+        }
+        let v = self.value(first);
+        let evicted = match v {
+            Value::Terminal(_) => 1,
+            Value::Run(_, c) => c as usize,
+            Value::Rule(r) => self.rule_expansion_len(r),
+            Value::Guard(_) => unreachable!("guards are list heads only"),
+        };
+        self.delete_node(first);
+        if let Value::Rule(r) = v {
+            if self.rules[r as usize].usage == 0 {
+                self.reap_rule(r);
+            }
+        }
+        self.drain_queue();
+        self.len -= evicted;
+        evicted
+    }
+
+    /// Expansion length of a live rule, computed by walking its body.
+    /// Cost is linear in the expansion — which is exactly what
+    /// [`Sequitur::evict_front`] removes, so streaming eviction stays
+    /// amortized O(1) per evicted terminal.
+    fn rule_expansion_len(&self, r: u32) -> usize {
+        let mut total = 0usize;
+        let mut stack: Vec<u32> = vec![self.next(self.rules[r as usize].guard)];
+        while let Some(n) = stack.pop() {
+            let v = self.value(n);
+            if v.is_guard() {
+                continue;
+            }
+            stack.push(self.next(n));
+            match v {
+                Value::Terminal(_) => total += 1,
+                Value::Run(_, c) => total += c as usize,
+                Value::Rule(q) => stack.push(self.next(self.rules[q as usize].guard)),
+                Value::Guard(_) => unreachable!("guards were skipped above"),
+            }
+        }
+        total
+    }
+
+    /// Frees a rule with no remaining references: unlinks and frees its
+    /// body nodes (removing their digram-index entries through the
+    /// normal deletion path) and cascades into rules whose last
+    /// reference lived in that body.
+    fn reap_rule(&mut self, root: u32) {
+        let mut work = vec![root];
+        while let Some(r) = work.pop() {
+            let meta = &self.rules[r as usize];
+            if !meta.alive || meta.usage != 0 {
+                continue;
+            }
+            let guard = meta.guard;
+            let mut n = self.next(guard);
+            while n != guard {
+                let nx = self.next(n);
+                let v = self.value(n);
+                self.delete_node(n);
+                if let Value::Rule(q) = v {
+                    if self.rules[q as usize].usage == 0 {
+                        work.push(q);
+                    }
+                }
+                n = nx;
+            }
+            self.arena.free(guard);
+            self.rules[r as usize].alive = false;
+            self.rules[r as usize].guard = NIL;
+            self.free_rules.push(r);
+        }
+    }
+
     // ----- arena helpers ---------------------------------------------------
 
     fn new_rule(&mut self) -> u32 {
@@ -758,6 +882,18 @@ impl Sequitur {
     /// Verifies both SEQUITUR invariants, panicking with a diagnostic if one
     /// is violated. Intended for tests; cost is O(grammar size).
     pub fn assert_invariants(&self) {
+        self.check_invariants(true)
+    }
+
+    /// Invariants under streaming eviction: digram uniqueness, usage
+    /// accounting, and index integrity in full, but rule utility relaxed
+    /// to "referenced at least once" ([`Sequitur::evict_front`] leaves
+    /// single-use rules in place by design).
+    pub fn assert_invariants_relaxed(&self) {
+        self.check_invariants(false)
+    }
+
+    fn check_invariants(&self, require_utility: bool) {
         use std::collections::HashMap;
         let mut seen: HashMap<(Value, Value), u32> = HashMap::new();
         let mut usage: HashMap<u32, u32> = HashMap::new();
@@ -802,7 +938,11 @@ impl Sequitur {
             }
             let u = usage.get(&(id as u32)).copied().unwrap_or(0);
             assert_eq!(u, rule.usage, "rule {id} usage counter out of sync");
-            assert!(u >= 2, "rule {id} used {u} < 2 times (utility violated)");
+            if require_utility {
+                assert!(u >= 2, "rule {id} used {u} < 2 times (utility violated)");
+            } else {
+                assert!(u >= 1, "rule {id} unreferenced but not reaped");
+            }
         }
         // Every digram-index entry must point at a live, correctly-hashed
         // occurrence whose digram is part of some rule body.
@@ -967,6 +1107,40 @@ impl Grammar {
         for (rule, len) in self.rules.iter_mut().zip(memo) {
             rule.expansion_len = len;
         }
+    }
+
+    /// Builds a grammar directly from rule bodies (index 0 is the start
+    /// rule), recomputing usage counts and expansion lengths;
+    /// `input_len` is the start rule's expansion. Exists for tests and
+    /// tools that need grammars the builder cannot produce (degenerate
+    /// `Sym::Run` counts, unreferenced rules). Rule references must be
+    /// in range and acyclic.
+    pub fn from_rules(bodies: Vec<Vec<Sym>>) -> Grammar {
+        assert!(!bodies.is_empty(), "a grammar needs a start rule");
+        let mut usage = vec![0usize; bodies.len()];
+        for body in &bodies {
+            for s in body {
+                if let Sym::R(q) = s {
+                    usage[*q] += 1;
+                }
+            }
+        }
+        let rules = bodies
+            .into_iter()
+            .zip(usage)
+            .map(|(symbols, usage)| Rule {
+                symbols,
+                usage,
+                expansion_len: 0,
+            })
+            .collect();
+        let mut g = Grammar {
+            rules,
+            input_len: 0,
+        };
+        g.compute_expansion_lens();
+        g.input_len = g.rules[0].expansion_len;
+        g
     }
 
     /// The start rule (rule 0).

@@ -1,0 +1,247 @@
+//! Budget-bounded online grammar maintenance for prefetcher metadata.
+//!
+//! The offline analyses build one grammar over a whole trace; a hardware
+//! history structure cannot. [`StreamingSequitur`] folds an unbounded
+//! miss stream into a [`Sequitur`] grammar *online* while holding the
+//! live structure under a fixed byte budget: after every push it evicts
+//! the oldest input symbols from the front of the start rule
+//! ([`Sequitur::evict_front`]) until the charged storage fits. Rules
+//! whose last reference falls off the front are reaped in full — their
+//! nodes return to the free list and stop being charged — so the
+//! structure converges to "the grammar of the most recent window the
+//! budget can afford", with recurring streams surviving far longer than
+//! the raw entries a same-sized IML would retain.
+//!
+//! Storage is charged per live arena node at [`GRAMMAR_NODE_BYTES`]: a
+//! 38-bit block-address payload, a 16-bit run count, two 16-bit
+//! intra-slab links, and tag bits — 104 bits, rounded to 13 bytes. The
+//! digram index is construction machinery (comparable to the adder trees
+//! a hardware log would also need) and is not charged; the rule-head
+//! index the prefetcher builds over snapshots is charged separately by
+//! the core crate.
+
+use crate::grammar::{Grammar, Sequitur};
+
+/// Modeled SRAM cost of one live grammar node, in bytes (38-bit payload
+/// + 16-bit run count + 2 x 16-bit links + 2 tag bits = 104 bits).
+pub const GRAMMAR_NODE_BYTES: usize = 13;
+
+/// A [`Sequitur`] builder that keeps itself under a byte budget by
+/// evicting the oldest history after every push.
+#[derive(Debug)]
+pub struct StreamingSequitur {
+    seq: Sequitur,
+    budget_bytes: usize,
+    evicted_terminals: u64,
+    pushed: u64,
+}
+
+impl StreamingSequitur {
+    /// Creates a streaming builder holding at most `budget_bytes` of
+    /// charged grammar storage; `rle` selects run-length-encoded mode
+    /// ([`Sequitur::new_rle`]) for bursty streams.
+    pub fn new(budget_bytes: usize, rle: bool) -> StreamingSequitur {
+        StreamingSequitur {
+            seq: if rle {
+                Sequitur::new_rle()
+            } else {
+                Sequitur::new()
+            },
+            budget_bytes,
+            evicted_terminals: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Appends one terminal, then evicts the oldest history until the
+    /// charged storage fits the budget again. Returns the number of
+    /// terminals evicted by this push.
+    pub fn push(&mut self, terminal: u64) -> usize {
+        self.seq.push(terminal);
+        self.pushed += 1;
+        self.enforce()
+    }
+
+    /// Re-points the budget (the prefetcher shrinks it as its rule-head
+    /// index grows) and immediately re-enforces it. Returns the number
+    /// of terminals evicted.
+    pub fn set_budget_bytes(&mut self, bytes: usize) -> usize {
+        self.budget_bytes = bytes;
+        self.enforce()
+    }
+
+    fn enforce(&mut self) -> usize {
+        let mut evicted = 0usize;
+        while self.storage_bytes() > self.budget_bytes {
+            let n = self.seq.evict_front();
+            if n == 0 {
+                break; // empty grammar: only the start guard remains
+            }
+            evicted += n;
+        }
+        self.evicted_terminals += evicted as u64;
+        evicted
+    }
+
+    /// The byte budget currently enforced.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Charged storage of the live grammar right now.
+    pub fn storage_bytes(&self) -> usize {
+        self.seq.live_nodes() * GRAMMAR_NODE_BYTES
+    }
+
+    /// Live arena nodes backing the charged storage.
+    pub fn live_nodes(&self) -> usize {
+        self.seq.live_nodes()
+    }
+
+    /// Terminals evicted over the builder's lifetime.
+    pub fn evicted_terminals(&self) -> u64 {
+        self.evicted_terminals
+    }
+
+    /// Terminals pushed over the builder's lifetime.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Terminals currently retained (pushed minus evicted).
+    pub fn retained(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Whether the underlying builder run-length-encodes.
+    pub fn is_rle(&self) -> bool {
+        self.seq.is_rle()
+    }
+
+    /// Snapshot of the current grammar over the retained window
+    /// ([`Sequitur::to_grammar`]); the builder keeps accumulating.
+    pub fn snapshot(&self) -> Grammar {
+        self.seq.to_grammar()
+    }
+
+    /// The live builder, for invariant checks in tests.
+    pub fn builder(&self) -> &Sequitur {
+        &self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A repetitive trace: recurring streams separated by noise.
+    fn trace(n: usize) -> Vec<u64> {
+        let mut x: u64 = 0x1234_5678_9ABC_DEF0;
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let stream = 100 * (1 + x % 4);
+            out.extend(stream..stream + 12);
+            out.push(1_000_000 + (x >> 32));
+        }
+        out.truncate(n);
+        out
+    }
+
+    #[test]
+    fn budget_is_enforced_every_push() {
+        for rle in [false, true] {
+            let mut s = StreamingSequitur::new(2048, rle);
+            for &t in &trace(20_000) {
+                s.push(t);
+                assert!(
+                    s.storage_bytes() <= s.budget_bytes() || s.retained() == 0,
+                    "budget exceeded: {} > {}",
+                    s.storage_bytes(),
+                    s.budget_bytes()
+                );
+            }
+            assert!(s.evicted_terminals() > 0, "a 2 KB budget must evict");
+            assert_eq!(
+                s.pushed(),
+                s.evicted_terminals() + s.retained() as u64,
+                "every pushed terminal is retained or evicted"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_expands_to_retained_suffix() {
+        let input = trace(6_000);
+        for rle in [false, true] {
+            let mut s = StreamingSequitur::new(4096, rle);
+            for &t in &input {
+                s.push(t);
+            }
+            let g = s.snapshot();
+            let expanded = g.expand();
+            let suffix = &input[input.len() - s.retained()..];
+            assert_eq!(expanded, suffix, "rle={rle}");
+        }
+    }
+
+    #[test]
+    fn invariants_hold_under_streaming_eviction() {
+        let input = trace(3_000);
+        for rle in [false, true] {
+            let mut s = StreamingSequitur::new(1536, rle);
+            for (i, &t) in input.iter().enumerate() {
+                s.push(t);
+                if i % 64 == 0 {
+                    s.builder().assert_invariants_relaxed();
+                }
+            }
+            s.builder().assert_invariants_relaxed();
+        }
+    }
+
+    #[test]
+    fn shrinking_budget_evicts_immediately() {
+        let mut s = StreamingSequitur::new(1 << 20, false);
+        for &t in &trace(4_000) {
+            s.push(t);
+        }
+        assert_eq!(s.evicted_terminals(), 0, "1 MB holds the whole window");
+        let before = s.retained();
+        s.set_budget_bytes(1024);
+        assert!(s.storage_bytes() <= 1024);
+        assert!(s.retained() < before);
+        s.builder().assert_invariants_relaxed();
+        assert_eq!(s.snapshot().expand().len(), s.retained());
+    }
+
+    #[test]
+    fn zero_budget_degenerates_to_empty() {
+        let mut s = StreamingSequitur::new(0, true);
+        for &t in &trace(200) {
+            s.push(t);
+        }
+        assert_eq!(s.retained(), 0);
+        assert_eq!(s.evicted_terminals(), 200);
+        assert!(s.snapshot().expand().is_empty());
+    }
+
+    #[test]
+    fn grammar_window_outlasts_equal_budget_raw_log() {
+        // The point of the arm: under one budget, a grammar over a
+        // repetitive stream retains a longer window than raw entries.
+        let budget = 4096;
+        let raw_entries = budget * 8 / 39; // 39-bit IML entries
+        let mut s = StreamingSequitur::new(budget, false);
+        for &t in &trace(30_000) {
+            s.push(t);
+        }
+        assert!(
+            s.retained() > raw_entries,
+            "grammar window {} should beat raw window {raw_entries}",
+            s.retained()
+        );
+    }
+}

@@ -82,7 +82,14 @@ pub fn walk_grammar(grammar: &Grammar) -> GrammarWalk {
                 });
                 if counts[q] == 1 {
                     stack.push((q, 0));
-                } else {
+                } else if len > 0 {
+                    // A recurrence contributes one Head plus `len - 1`
+                    // Opportunity misses. A zero-expansion rule (possible
+                    // only via a zero-count `Sym::Run` in a hand-built
+                    // grammar) contributes no trace positions at all —
+                    // emitting the unconditional Head here would both
+                    // underflow `len - 1` and diverge from
+                    // `expansion_len`.
                     walk.class_codes.push(2);
                     walk.class_codes.extend(std::iter::repeat_n(3, len - 1));
                 }
