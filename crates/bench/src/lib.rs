@@ -7,6 +7,8 @@
 //! * `figures` — the kernel of each paper table/figure at reduced scale
 //!   (the full regenerations are the `tifs-experiments` binaries).
 
+#![forbid(unsafe_code)]
+
 use tifs_sim::config::SystemConfig;
 use tifs_sim::miss_trace::miss_trace;
 use tifs_trace::workload::{Workload, WorkloadSpec};

@@ -30,6 +30,8 @@
 //! cost and the determinism of drain order. `DigramIndex` is pinned by
 //! the grammar-equivalence suite in `tifs-sequitur/tests/`.
 
+#![forbid(unsafe_code)]
+
 use tifs_trace::BlockAddr;
 
 /// A pending-fill set: blocks in flight toward a buffer, each carried

@@ -43,6 +43,8 @@
 //! assert!(report.aggregate_ipc() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod functional;
 pub mod grammar_history;
 pub mod grammar_prefetcher;

@@ -18,6 +18,8 @@
 //! `TIFS_BENCH_TARGET_MS` sets the per-sample calibration target
 //! (default 20 ms).
 
+#![forbid(unsafe_code)]
+
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 

@@ -44,7 +44,7 @@ struct CalRow {
     secs: f64,
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let n: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -135,7 +135,7 @@ fn main() {
             "calibration: band check skipped (bands are pinned at {CALIBRATION_INSTRUCTIONS} \
              instructions, this run used {n})"
         );
-        return;
+        return std::process::ExitCode::SUCCESS;
     }
     let measured: Vec<Measurement> = rows
         .iter()
@@ -163,6 +163,7 @@ fn main() {
              (retune deliberately; the bands live in tifs_experiments::calibration)",
             failures.len()
         );
-        std::process::exit(1);
+        return std::process::ExitCode::FAILURE;
     }
+    std::process::ExitCode::SUCCESS
 }

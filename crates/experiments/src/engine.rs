@@ -98,6 +98,8 @@ pub const SHARD_CONTENTION_ENV: &str = "TIFS_SHARD_CONTENTION";
 
 fn env_truthy(var: &str) -> bool {
     matches!(
+        // tifs-lint: allow(wall-clock) — callers only pass the documented
+        // TIFS_* sharding knobs declared just above.
         std::env::var(var).as_deref(),
         Ok("1" | "on" | "true" | "yes")
     )
@@ -812,9 +814,11 @@ pub fn convolve_shards(parts: &[SimReport], sys: &SystemConfig) -> SimReport {
     warm.dedup();
     // Blocks the shared directory has ever held in this reconstruction:
     // a private hit on a block the shared L2 tracked and evicted is a
-    // capacity miss the coupled CMP would take.
-    let mut tracked_blocks: std::collections::HashSet<BlockAddr> = warm.iter().copied().collect();
+    // capacity miss the coupled CMP would take. Membership-only, so the
+    // deterministic open-addressed BlockMap does the job of a HashSet.
+    let mut tracked_blocks: tifs_collections::BlockMap<()> = tifs_collections::BlockMap::new();
     for b in warm {
+        tracked_blocks.insert(b, ());
         directory.insert(b);
     }
     let mut shared_queue = 0u64;
@@ -845,7 +849,7 @@ pub fn convolve_shards(parts: &[SimReport], sys: &SystemConfig) -> SimReport {
         let instruction = matches!(e.kind, L2ReqKind::IFetch | L2ReqKind::IPrefetch);
         let hit = if instruction {
             let resident = directory.access(e.block);
-            let tracked = tracked_blocks.contains(&e.block);
+            let tracked = tracked_blocks.contains(e.block);
             // A private hit is warm in the shared L2 too (union of warm
             // sets) — unless the shared directory has tracked the block
             // in this window and evicted it again: four cores' working
@@ -859,7 +863,7 @@ pub fn convolve_shards(parts: &[SimReport], sys: &SystemConfig) -> SimReport {
                 inst_misses += 1;
             }
             directory.insert(e.block);
-            tracked_blocks.insert(e.block);
+            tracked_blocks.insert(e.block, ());
             warm
         } else {
             e.hit

@@ -34,6 +34,8 @@
 //! println!("speedup {:.3}", tifs.aggregate_ipc() / base.aggregate_ipc());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod calibration;
 pub mod engine;
 pub mod figures;

@@ -283,6 +283,9 @@ impl ResultsSink {
     /// created (warned on stderr); otherwise the named directory,
     /// defaulting to [`DEFAULT_RESULTS_DIR`].
     pub fn from_env() -> Option<ResultsSink> {
+        // tifs-lint: allow(wall-clock) — RESULTS_ENV is the documented
+        // TIFS_RESULTS knob; it selects where results land, never what
+        // they contain.
         let dir = match std::env::var(RESULTS_ENV) {
             Ok(v) if matches!(v.as_str(), "off" | "0" | "none" | "") => return None,
             Ok(v) => PathBuf::from(v),

@@ -1,0 +1,108 @@
+//! Rule `narrowing-cast`: silent truncation in the codec files.
+//!
+//! The codecs (`crates/trace/src/codec.rs`, `crates/sim/src/stats.rs`)
+//! decode attacker-shaped bytes into counts and lengths; an `x as usize`
+//! on a hostile `u64` silently truncates on 32-bit targets and turns a
+//! corrupt length into a wrong-but-plausible one. Decoders must use
+//! `try_from` with an explicit error path; the few masked-value casts
+//! (e.g. `(v & 0x7F) as u8`) carry a reasoned `allow(narrowing-cast)`.
+//!
+//! Widening or same-width casts (`as u64`, `as i64`, `as f64`) are not
+//! flagged.
+
+use crate::findings::{rules, Finding};
+use crate::source::{AnalyzedFile, DETERMINISM_CRATES};
+
+/// Target types an `as` cast may truncate into.
+const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+/// Files the audit covers (matched on the path's final component).
+const AUDITED_FILES: &[&str] = &["codec.rs", "stats.rs"];
+
+/// Runs the pass over one file.
+pub fn check(file: &AnalyzedFile) -> Vec<Finding> {
+    if !DETERMINISM_CRATES.contains(&file.crate_name.as_str()) {
+        return Vec::new();
+    }
+    let basename = file.path.rsplit('/').next().unwrap_or("");
+    if !AUDITED_FILES.contains(&basename) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let line_no = idx as u32 + 1;
+        if file.is_test_line(line_no) {
+            continue;
+        }
+        let mut from = 0;
+        while let Some(found) = line[from..].find(" as ") {
+            let at = from + found;
+            from = at + " as ".len();
+            let target: String = line[from..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if NARROW_TYPES.contains(&target.as_str()) {
+                findings.push(Finding::new(
+                    rules::NARROWING_CAST,
+                    &file.path,
+                    line_no,
+                    format!(
+                        "narrowing `as {target}` in a codec — use `{target}::try_from` \
+                         with an explicit error path, or annotate why the value fits"
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn findings_at(path: &str, content: &str) -> Vec<Finding> {
+        check(&AnalyzedFile::new(&SourceFile {
+            path: path.to_string(),
+            content: content.to_string(),
+        }))
+    }
+
+    #[test]
+    fn flags_narrowing_not_widening() {
+        let src = "\
+fn f(x: u64) -> usize {
+    let _wide = x as u64;
+    let _float = x as f64;
+    x as usize
+}
+";
+        let f = findings_at("crates/trace/src/codec.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4);
+        assert!(f[0].message.contains("usize::try_from"));
+    }
+
+    #[test]
+    fn only_audited_files_are_checked() {
+        let src = "fn f(x: u64) -> u8 { x as u8 }\n";
+        assert_eq!(findings_at("crates/sim/src/stats.rs", src).len(), 1);
+        assert!(findings_at("crates/sim/src/l2.rs", src).is_empty());
+        assert!(findings_at("crates/bench/src/codec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strings_comments_and_test_code_are_inert() {
+        let src = "\
+// reinterpret x as u8 would be wrong
+fn f() -> &'static str { \"x as u8\" }
+#[cfg(test)]
+mod tests {
+    fn t(x: u64) -> u8 { x as u8 }
+}
+";
+        assert!(findings_at("crates/trace/src/codec.rs", src).is_empty());
+    }
+}

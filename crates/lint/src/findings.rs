@@ -1,0 +1,250 @@
+//! Findings: the unit every rule pass produces, suppression against
+//! `tifs-lint: allow` annotations, and the human / JSON renderings.
+
+use crate::source::AnalyzedFile;
+
+/// Rule names, also the names accepted inside `allow(…)`.
+pub mod rules {
+    /// Iteration over `HashMap`/`HashSet` in covered code.
+    pub const NONDET_ITERATION: &str = "nondet-iteration";
+    /// `Instant::now` / `SystemTime::now` / `env::var` outside the
+    /// allowlist.
+    pub const WALL_CLOCK: &str = "wall-clock";
+    /// A narrowing `as` cast in the codec files.
+    pub const NARROWING_CAST: &str = "narrowing-cast";
+    /// Versioned codec schema drifted from `crates/lint/schema.lock`.
+    pub const SCHEMA_DRIFT: &str = "schema-drift";
+    /// A malformed `tifs-lint: allow` annotation (no rule, unknown rule,
+    /// or missing reason).
+    pub const BAD_ALLOW: &str = "bad-allow";
+    /// An annotation that suppresses nothing.
+    pub const UNUSED_ALLOW: &str = "unused-allow";
+
+    /// Every rule, for validation and docs.
+    pub const ALL: &[&str] = &[
+        NONDET_ITERATION,
+        WALL_CLOCK,
+        NARROWING_CAST,
+        SCHEMA_DRIFT,
+        BAD_ALLOW,
+        UNUSED_ALLOW,
+    ];
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (one of [`rules::ALL`]).
+    pub rule: &'static str,
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding.
+    pub fn new(rule: &'static str, path: &str, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message,
+        }
+    }
+}
+
+/// Applies the file's `allow` annotations to `findings` (dropping the
+/// suppressed ones), then appends annotation-hygiene findings: a
+/// `bad-allow` for malformed annotations and an `unused-allow` for
+/// annotations that suppressed nothing. Hygiene findings are not
+/// themselves suppressible — fixing them means fixing the annotation.
+pub fn apply_allows(file: &AnalyzedFile, findings: Vec<Finding>) -> Vec<Finding> {
+    let mut used = vec![false; file.allows.len()];
+    let mut kept = Vec::new();
+    for finding in findings {
+        let suppressed =
+            file.allows.iter().enumerate().find(|(_, a)| {
+                a.rule == finding.rule && a.target_line == finding.line && a.has_reason
+            });
+        match suppressed {
+            Some((i, _)) => used[i] = true,
+            None => kept.push(finding),
+        }
+    }
+    for (allow, used) in file.allows.iter().zip(&used) {
+        if allow.rule.is_empty() || !rules::ALL.contains(&allow.rule.as_str()) {
+            kept.push(Finding::new(
+                rules::BAD_ALLOW,
+                &file.path,
+                allow.line,
+                format!(
+                    "unknown rule `{}` in tifs-lint allow annotation (known: {})",
+                    allow.rule,
+                    rules::ALL.join(", ")
+                ),
+            ));
+        } else if !allow.has_reason {
+            kept.push(Finding::new(
+                rules::BAD_ALLOW,
+                &file.path,
+                allow.line,
+                format!(
+                    "allow({}) without a reason — write `// tifs-lint: allow({}) — <why this is sound>`",
+                    allow.rule, allow.rule
+                ),
+            ));
+        } else if !used {
+            kept.push(Finding::new(
+                rules::UNUSED_ALLOW,
+                &file.path,
+                allow.line,
+                format!(
+                    "allow({}) suppresses nothing on line {} — remove the stale annotation",
+                    allow.rule, allow.target_line
+                ),
+            ));
+        }
+    }
+    kept
+}
+
+/// Sorts findings into the canonical (path, line, rule, message) order
+/// so output bytes are deterministic.
+pub fn sort(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+}
+
+/// Renders the human-readable report, one finding per line.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.path, f.line, f.rule, f.message
+        ));
+    }
+    if findings.is_empty() {
+        out.push_str("tifs-lint: clean (0 findings)\n");
+    } else {
+        out.push_str(&format!("tifs-lint: {} finding(s)\n", findings.len()));
+    }
+    out
+}
+
+/// Renders the machine-readable JSON report (canonical key order, `\n`
+/// line termination, no trailing spaces — stable bytes for artifacts).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"tool\": \"tifs-lint\",\n  \"format_version\": 1,\n");
+    out.push_str(&format!("  \"total\": {},\n", findings.len()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping (the same dialect as the results sink:
+/// quotes, backslashes, and control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{AnalyzedFile, SourceFile};
+
+    fn analyzed(content: &str) -> AnalyzedFile {
+        AnalyzedFile::new(&SourceFile {
+            path: "crates/sim/src/x.rs".to_string(),
+            content: content.to_string(),
+        })
+    }
+
+    #[test]
+    fn allow_suppresses_matching_rule_and_line() {
+        let f = analyzed("let x = 1; // tifs-lint: allow(wall-clock) — test\n");
+        let findings = vec![
+            Finding::new(rules::WALL_CLOCK, &f.path, 1, "clock".into()),
+            Finding::new(rules::NONDET_ITERATION, &f.path, 1, "iter".into()),
+        ];
+        let kept = apply_allows(&f, findings);
+        assert_eq!(kept.len(), 1, "only the matching rule is suppressed");
+        assert_eq!(kept[0].rule, rules::NONDET_ITERATION);
+    }
+
+    #[test]
+    fn reasonless_allow_is_flagged_and_suppresses_nothing() {
+        let f = analyzed("let x = 1; // tifs-lint: allow(wall-clock)\n");
+        let findings = vec![Finding::new(rules::WALL_CLOCK, &f.path, 1, "clock".into())];
+        let kept = apply_allows(&f, findings);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().any(|k| k.rule == rules::WALL_CLOCK));
+        assert!(kept.iter().any(|k| k.rule == rules::BAD_ALLOW));
+    }
+
+    #[test]
+    fn unused_and_unknown_allows_are_flagged() {
+        let f = analyzed(
+            "let x = 1; // tifs-lint: allow(wall-clock) — nothing here\n\
+             let y = 2; // tifs-lint: allow(made-up-rule) — whatever\n",
+        );
+        let kept = apply_allows(&f, Vec::new());
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].rule, rules::UNUSED_ALLOW);
+        assert_eq!(kept[1].rule, rules::BAD_ALLOW);
+    }
+
+    #[test]
+    fn json_is_well_formed_ish() {
+        let findings = vec![Finding::new(
+            rules::WALL_CLOCK,
+            "a/b.rs",
+            3,
+            "say \"no\"".into(),
+        )];
+        let json = render_json(&findings);
+        assert!(json.contains("\"total\": 1"));
+        assert!(json.contains("\\\"no\\\""));
+        assert!(json.ends_with("}\n"));
+        let empty = render_json(&[]);
+        assert!(empty.contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,340 @@
+//! A small comment/string/raw-string-aware Rust scanner.
+//!
+//! The rule passes in this crate are lexical: they look for tokens like
+//! `HashMap`, `.keys()`, or `Instant::now` in source text. Doing that on
+//! raw text would fire inside doc comments, test-fixture strings, and
+//! error messages, so every pass works on a *masked* view of the file
+//! instead: the same byte string with the contents of every comment,
+//! string literal, raw string literal, byte string, and char literal
+//! blanked to spaces. Masking replaces bytes one-for-one (newlines are
+//! kept), so byte offsets, line numbers, and column numbers in the
+//! masked view are identical to the original.
+//!
+//! Comments are captured on the side (with their byte offsets) because
+//! the `// tifs-lint: allow(<rule>) — <reason>` suppression annotations
+//! live in comments.
+//!
+//! The scanner understands:
+//!
+//! * line comments (`//`, `///`, `//!`) and *nested* block comments;
+//! * string literals with escapes, including `\"` and `\\`;
+//! * raw strings `r"…"` / `r#"…"#` with any number of hashes, plus the
+//!   `b`, `br`, `c`, and `cr` prefixed forms (prefixes are only honored
+//!   when they are a whole identifier, so `bar"x"` masks only `"x"`);
+//! * char literals vs. lifetimes (`'a'` is a literal, `'a` is not).
+
+/// A comment captured during masking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// Byte offset of the comment opener (`//` or `/*`) in the file.
+    pub start: usize,
+    /// Raw comment text, including the opener (and closer, for block
+    /// comments).
+    pub text: String,
+}
+
+/// The masked view of one source file.
+#[derive(Clone, Debug)]
+pub struct Masked {
+    /// The source with comment and literal contents blanked to spaces.
+    /// Exactly as long as the input, with newlines preserved, so every
+    /// offset in it is an offset in the original.
+    pub code: String,
+    /// Every comment in the file, in order of appearance.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Blanks `out[from..to]` to spaces, leaving newlines in place so line
+/// numbers survive.
+fn blank(out: &mut [u8], from: usize, to: usize) {
+    let to = to.min(out.len());
+    if from >= to {
+        return;
+    }
+    for b in &mut out[from..to] {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+/// Masks one source file. See the module docs for what is blanked.
+pub fn mask(source: &str) -> Masked {
+    let bytes = source.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut comments = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    start,
+                    text: source[start..i].to_string(),
+                });
+                blank(&mut out, start, i);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comments nest in Rust.
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    start,
+                    text: source[start..i].to_string(),
+                });
+                blank(&mut out, start, i);
+            }
+            b'"' => {
+                let end = consume_string(bytes, i);
+                // Keep the delimiting quotes, blank the contents.
+                blank(&mut out, i + 1, end.saturating_sub(1));
+                i = end;
+            }
+            b'\'' => {
+                i = consume_char_or_lifetime(bytes, &mut out, i);
+            }
+            b if is_ident_start(b) => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                let ident = &source[start..i];
+                if matches!(ident, "r" | "b" | "br" | "c" | "cr") {
+                    let raw = matches!(ident, "r" | "br" | "cr");
+                    let mut j = i;
+                    let mut hashes = 0usize;
+                    while raw && bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        if raw {
+                            // Blank the whole literal, delimiters
+                            // included: a surviving `#` after a blanked
+                            // closing quote would leave the opener
+                            // unbalanced.
+                            let end = consume_raw_string(bytes, j, hashes);
+                            blank(&mut out, start, end);
+                            i = end;
+                        } else {
+                            // `b"…"` / `c"…"`: a plain escaped string.
+                            let end = consume_string(bytes, j);
+                            blank(&mut out, j + 1, end.saturating_sub(1));
+                            i = end;
+                        }
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    Masked {
+        code: String::from_utf8(out).expect("masking only writes ASCII spaces"),
+        comments,
+    }
+}
+
+/// Consumes a `"…"` literal starting at the opening quote `at`,
+/// honoring backslash escapes. Returns the index just past the closing
+/// quote (or the end of input when unterminated).
+fn consume_string(bytes: &[u8], at: usize) -> usize {
+    let mut i = at + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Consumes a raw literal whose opening quote sits at `at` and that is
+/// closed by a quote followed by `hashes` hash signs. Returns the index
+/// just past the closing delimiter.
+fn consume_raw_string(bytes: &[u8], at: usize, hashes: usize) -> usize {
+    let mut i = at + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let following = bytes[i + 1..].iter().take_while(|&&b| b == b'#').count();
+            if following >= hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Distinguishes a char literal from a lifetime at a `'` and blanks the
+/// literal's contents. Returns the index to continue scanning from.
+fn consume_char_or_lifetime(bytes: &[u8], out: &mut [u8], at: usize) -> usize {
+    let next = match bytes.get(at + 1) {
+        Some(&b) => b,
+        None => return at + 1,
+    };
+    if next == b'\\' {
+        // Escaped char literal: scan to the closing quote.
+        let mut i = at + 2;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'\'' => {
+                    blank(out, at + 1, i);
+                    return i + 1;
+                }
+                _ => i += 1,
+            }
+        }
+        return bytes.len();
+    }
+    // One (possibly multi-byte) character followed by a quote is a char
+    // literal; anything else is a lifetime (or a stray quote).
+    let close = at + 1 + utf8_len(next);
+    if next != b'\'' && bytes.get(close) == Some(&b'\'') {
+        blank(out, at + 1, close);
+        return close + 1;
+    }
+    at + 1
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> String {
+        mask(src).code
+    }
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let src = "let a = 1; // HashMap here\nlet b = 2; /* keys()\n values() */ let c = 3;";
+        let code = code_of(src);
+        assert!(!code.contains("HashMap"));
+        assert!(!code.contains("keys"));
+        assert!(code.contains("let a = 1;"));
+        assert!(code.contains("let c = 3;"));
+        assert_eq!(code.len(), src.len());
+        assert_eq!(
+            code.matches('\n').count(),
+            src.matches('\n').count(),
+            "newlines must survive masking"
+        );
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let src = "a /* outer /* HashMap */ still comment */ b";
+        let code = code_of(src);
+        assert!(!code.contains("HashMap"));
+        assert!(!code.contains("still"));
+        assert!(code.starts_with('a'));
+        assert!(code.ends_with('b'));
+    }
+
+    #[test]
+    fn masks_string_contents_but_not_code() {
+        let src = r#"let s = "Instant::now inside"; let t = Instant::now();"#;
+        let code = code_of(src);
+        assert_eq!(code.matches("Instant::now").count(), 1);
+        assert!(code.contains("let t = Instant::now();"));
+    }
+
+    #[test]
+    fn masks_raw_and_byte_strings() {
+        let src = r##"let a = r#"HashMap "quoted" .keys()"#; let b = br"env::var"; let c = b"SystemTime"; ok"##;
+        let code = code_of(src);
+        assert!(!code.contains("HashMap"));
+        assert!(!code.contains("env::var"));
+        assert!(!code.contains("SystemTime"));
+        assert!(code.contains("ok"), "code after literals survives: {code}");
+    }
+
+    #[test]
+    fn raw_string_with_hashes_does_not_desync() {
+        let src = r###"let a = r##"x"# not closed yet"##; let keep = 1;"###;
+        let code = code_of(src);
+        assert!(!code.contains("not closed"));
+        assert!(code.contains("let keep = 1;"), "desynced: {code}");
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string_prefix() {
+        let src = r#"let bar = par("HashMap");"#;
+        let code = code_of(src);
+        assert!(code.contains("let bar = par("));
+        assert!(!code.contains("HashMap"));
+    }
+
+    #[test]
+    fn char_literals_masked_lifetimes_kept() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'k'; let e = '\\n'; }";
+        let code = code_of(src);
+        assert!(code.contains("<'a>"), "lifetime must survive: {code}");
+        assert!(code.contains("&'a str"));
+        assert!(!code.contains('k'), "char literal contents blanked");
+        let src2 = "let q = '\"'; let s = \"HashMap\";";
+        let code2 = code_of(src2);
+        assert!(
+            !code2.contains("HashMap"),
+            "quote in char literal must not desync strings: {code2}"
+        );
+    }
+
+    #[test]
+    fn comments_are_captured_with_offsets() {
+        let src = "let a = 1; // tifs-lint: allow(x) — y\n/* block */";
+        let m = mask(src);
+        assert_eq!(m.comments.len(), 2);
+        assert_eq!(m.comments[0].text, "// tifs-lint: allow(x) — y");
+        assert_eq!(m.comments[0].start, 11);
+        assert_eq!(m.comments[1].text, "/* block */");
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let src = r#"let s = "a\"HashMap\"b"; let m = HashMap::new();"#;
+        let code = code_of(src);
+        assert_eq!(code.matches("HashMap").count(), 1);
+    }
+
+    #[test]
+    fn comment_opener_inside_string_is_inert() {
+        let src = r#"let url = "https://example.com/*x*/"; let m = HashMap::new();"#;
+        let code = code_of(src);
+        assert_eq!(code.matches("HashMap").count(), 1);
+        assert!(mask(src).comments.is_empty());
+    }
+}

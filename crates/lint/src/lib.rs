@@ -1,0 +1,113 @@
+//! `tifs-lint`: the workspace determinism & codec-discipline analyzer.
+//!
+//! A std-only static analyzer purpose-built for this repo (the registry
+//! is unreachable in CI, so no syn/clippy-style dependencies). It lexes
+//! every covered source file into a masked view — comment and string
+//! contents blanked, offsets preserved ([`lexer`]) — and runs four rule
+//! passes over it:
+//!
+//! | rule | pass | what it protects |
+//! |------|------|------------------|
+//! | `nondet-iteration` | [`determinism`] | HashMap/HashSet iteration order never reaches results |
+//! | `wall-clock`       | [`entropy`]     | no clock/env reads outside documented knobs |
+//! | `narrowing-cast`   | [`casts`]       | codecs reject, not truncate, hostile lengths |
+//! | `schema-drift`     | [`schema`]      | layout versions bump when serialized structs change |
+//!
+//! Findings are suppressible in place with
+//! `// tifs-lint: allow(<rule>) — <reason>`; the reason is mandatory
+//! and stale or malformed annotations are themselves findings
+//! (`bad-allow`, `unused-allow`), so the suppression inventory stays
+//! honest. The `schema-drift` rule is deliberately *not* suppressible:
+//! the only two fixes are bumping the version or regenerating the lock.
+//!
+//! The crate is a library so the test suite can lint fixture files and
+//! synthetically mutated copies of real sources entirely in memory;
+//! `src/main.rs` adds the thin CLI that CI runs.
+
+#![forbid(unsafe_code)]
+
+pub mod casts;
+pub mod determinism;
+pub mod entropy;
+pub mod findings;
+pub mod lexer;
+pub mod schema;
+pub mod source;
+
+pub use findings::{render_human, render_json, rules, Finding};
+pub use source::{scan_workspace, SourceFile};
+
+use source::AnalyzedFile;
+
+/// Lints an in-memory file set against an optional schema lock and
+/// returns the surviving findings in canonical order.
+pub fn analyze(files: &[SourceFile], schema_lock: Option<&str>) -> Vec<Finding> {
+    let analyzed: Vec<AnalyzedFile> = files.iter().map(AnalyzedFile::new).collect();
+    let schema_findings = schema::check(&analyzed, schema_lock);
+    let mut all = Vec::new();
+    for file in &analyzed {
+        let mut per_file = Vec::new();
+        per_file.extend(determinism::check(file));
+        per_file.extend(entropy::check(file));
+        per_file.extend(casts::check(file));
+        // schema-drift findings bypass suppression: they anchor to real
+        // files but no annotation can make drift sound.
+        all.extend(findings::apply_allows(file, per_file));
+    }
+    all.extend(schema_findings);
+    findings::sort(&mut all);
+    all
+}
+
+/// Renders the schema lock for an in-memory file set.
+pub fn generate_lock(files: &[SourceFile]) -> String {
+    let analyzed: Vec<AnalyzedFile> = files.iter().map(AnalyzedFile::new).collect();
+    schema::generate_lock(&analyzed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, content: &str) -> SourceFile {
+        SourceFile {
+            path: path.to_string(),
+            content: content.to_string(),
+        }
+    }
+
+    #[test]
+    fn end_to_end_finding_and_suppression() {
+        let bad = file(
+            "crates/sim/src/x.rs",
+            "fn f(m: &std::collections::HashMap<u64, u64>) -> u64 { m.values().sum() }\n",
+        );
+        let findings = analyze(&[bad], None);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, rules::NONDET_ITERATION);
+
+        let annotated = file(
+            "crates/sim/src/x.rs",
+            "// tifs-lint: allow(nondet-iteration) — sum is order-insensitive\n\
+             fn f(m: &std::collections::HashMap<u64, u64>) -> u64 { m.values().sum() }\n",
+        );
+        assert!(analyze(&[annotated], None).is_empty());
+    }
+
+    #[test]
+    fn findings_come_out_sorted() {
+        let files = vec![
+            file(
+                "crates/trace/src/codec.rs",
+                "fn f(x: u64) -> u8 { x as u8 }\n",
+            ),
+            file(
+                "crates/sim/src/x.rs",
+                "fn f() { let _ = std::time::Instant::now(); }\n",
+            ),
+        ];
+        let findings = analyze(&files, None);
+        assert_eq!(findings.len(), 2);
+        assert!(findings[0].path < findings[1].path);
+    }
+}

@@ -1,0 +1,91 @@
+//! The `tifs-lint` CLI. See the library docs ([`tifs_lint`]) for what
+//! the rules check; this binary only wires the workspace scan, the
+//! schema lock, and the output formats together.
+//!
+//! ```text
+//! tifs-lint [--root <DIR>] [--json] [--update-schema-lock]
+//! ```
+//!
+//! * Human-readable findings always go to **stderr**; `--json` writes
+//!   the machine-readable report to **stdout** (CI uploads it as an
+//!   artifact).
+//! * `--update-schema-lock` regenerates `crates/lint/schema.lock` from
+//!   the current tree instead of linting.
+//! * Exit codes: `0` clean, `1` findings, `2` usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tifs_lint::{analyze, generate_lock, render_human, render_json, scan_workspace};
+
+const USAGE: &str = "usage: tifs-lint [--root <DIR>] [--json] [--update-schema-lock]";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut update_lock = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("tifs-lint: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--update-schema-lock" => update_lock = true,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("tifs-lint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "tifs-lint: `{}` does not look like the workspace root (no crates/); \
+             run from the repo root or pass --root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let files = match scan_workspace(&root) {
+        Ok(files) => files,
+        Err(err) => {
+            eprintln!("tifs-lint: workspace scan failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let lock_path = root.join("crates").join("lint").join("schema.lock");
+    if update_lock {
+        let lock = generate_lock(&files);
+        if let Err(err) = std::fs::write(&lock_path, &lock) {
+            eprintln!("tifs-lint: cannot write {}: {err}", lock_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("tifs-lint: wrote {}", lock_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let lock = std::fs::read_to_string(&lock_path).ok();
+    let findings = analyze(&files, lock.as_deref());
+    eprint!("{}", render_human(&findings));
+    if json {
+        print!("{}", render_json(&findings));
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,400 @@
+//! Source-file model: workspace walking, path classification, in-file
+//! test-region detection, and `tifs-lint: allow` annotation parsing.
+//!
+//! Rules never read files themselves; they receive [`AnalyzedFile`]s —
+//! a masked code view split into lines, plus the file's classification
+//! (which crate, `src` vs `src/bin` vs `tests`) and its parsed
+//! suppression annotations. Everything operates on an in-memory list of
+//! [`SourceFile`]s so the test suite can lint fixture content and
+//! synthetically mutated copies of real files without touching disk.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Masked};
+
+/// One source file to lint: a repo-relative path (always with `/`
+/// separators) and its content.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Repo-relative path, e.g. `crates/sim/src/stats.rs`.
+    pub path: String,
+    /// Full file content.
+    pub content: String,
+}
+
+/// Where a file sits in the workspace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library / module code under `crates/<name>/src/`.
+    Lib,
+    /// Binary code under `crates/<name>/src/bin/`.
+    Bin,
+    /// Integration tests under `crates/<name>/tests/`.
+    Tests,
+}
+
+/// A suppression annotation: `// tifs-lint: allow(<rule>) — <reason>`.
+///
+/// A trailing annotation suppresses findings on its own line; an
+/// annotation on a line of its own suppresses findings on the next
+/// non-comment line. The reason is mandatory — an annotation without
+/// one is itself reported (rule `bad-allow`), and an annotation that
+/// suppresses nothing is reported too (rule `unused-allow`), so stale
+/// suppressions cannot accumulate silently.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// The rule name inside `allow(…)`.
+    pub rule: String,
+    /// Whether a non-empty reason follows the rule.
+    pub has_reason: bool,
+    /// 1-based line of the annotation comment itself.
+    pub line: u32,
+    /// 1-based line whose findings this annotation suppresses.
+    pub target_line: u32,
+}
+
+/// A lexed, classified source file ready for rule passes.
+#[derive(Clone, Debug)]
+pub struct AnalyzedFile {
+    /// Repo-relative path.
+    pub path: String,
+    /// Crate directory name under `crates/` (e.g. `sim`).
+    pub crate_name: String,
+    /// `src` vs `src/bin` vs `tests`.
+    pub kind: FileKind,
+    /// Masked code (comments and literal contents blanked), split into
+    /// lines. Line `i` of this vector is line `i + 1` of the file.
+    pub lines: Vec<String>,
+    /// Raw source lines (for extracting literal values, e.g. the codec
+    /// magic byte strings, and for rendering context).
+    pub raw_lines: Vec<String>,
+    /// `true` for every line inside an in-file `#[cfg(test)]` item.
+    pub test_lines: Vec<bool>,
+    /// Parsed `tifs-lint: allow` annotations.
+    pub allows: Vec<Allow>,
+}
+
+impl AnalyzedFile {
+    /// Lexes and classifies one source file.
+    pub fn new(file: &SourceFile) -> AnalyzedFile {
+        let masked = lexer::mask(&file.content);
+        let lines: Vec<String> = split_lines(&masked.code);
+        let raw_lines: Vec<String> = split_lines(&file.content);
+        let test_lines = mark_test_regions(&masked.code);
+        let allows = parse_allows(&file.content, &masked, &lines);
+        let (crate_name, kind) = classify(&file.path);
+        AnalyzedFile {
+            path: file.path.clone(),
+            crate_name,
+            kind,
+            lines,
+            raw_lines,
+            test_lines,
+            allows,
+        }
+    }
+
+    /// Whether 1-based `line` lies in an in-file `#[cfg(test)]` region.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines
+            .get(line as usize - 1)
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+fn split_lines(text: &str) -> Vec<String> {
+    text.split('\n').map(str::to_string).collect()
+}
+
+/// Derives `(crate_name, kind)` from a repo-relative path. Files outside
+/// `crates/` classify as library code of a crate named after their first
+/// path component.
+fn classify(path: &str) -> (String, FileKind) {
+    let parts: Vec<&str> = path.split('/').collect();
+    let (name, rest) = match parts.as_slice() {
+        ["crates", name, rest @ ..] => (name.to_string(), rest),
+        [first, rest @ ..] => (first.to_string(), rest),
+        [] => (String::new(), &[] as &[&str]),
+    };
+    let kind = match rest {
+        ["src", "bin", ..] => FileKind::Bin,
+        ["tests", ..] => FileKind::Tests,
+        _ => FileKind::Lib,
+    };
+    (name, kind)
+}
+
+/// Marks every line covered by an item annotated `#[cfg(test)]` (the
+/// conventional in-file unit-test module). The region runs from the
+/// attribute to the close of the first brace block that follows it.
+fn mark_test_regions(code: &str) -> Vec<bool> {
+    let n_lines = code.split('\n').count();
+    let mut test = vec![false; n_lines];
+    let bytes = code.as_bytes();
+    let mut search_from = 0;
+    while let Some(found) = code[search_from..].find("cfg(test") {
+        let attr_at = search_from + found;
+        // Find the opening brace of the annotated item, then match it.
+        let Some(open_rel) = code[attr_at..].find('{') else {
+            break;
+        };
+        let open = attr_at + open_rel;
+        let mut depth = 0usize;
+        let mut close = bytes.len();
+        for (off, &b) in bytes[open..].iter().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = open + off;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let first_line = line_of(code, attr_at);
+        let last_line = line_of(code, close.min(bytes.len() - 1));
+        for line in first_line..=last_line {
+            if let Some(slot) = test.get_mut(line as usize - 1) {
+                *slot = true;
+            }
+        }
+        search_from = close.min(bytes.len() - 1) + 1;
+        if search_from >= bytes.len() {
+            break;
+        }
+    }
+    test
+}
+
+/// 1-based line number of byte `offset`.
+fn line_of(text: &str, offset: usize) -> u32 {
+    let clamped = offset.min(text.len());
+    text.as_bytes()[..clamped]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count() as u32
+        + 1
+}
+
+/// The annotation marker rules look for inside comments.
+pub const ALLOW_MARKER: &str = "tifs-lint: allow(";
+
+/// Parses every `tifs-lint: allow(<rule>) — <reason>` annotation.
+/// Annotations are directives, so only plain comments count — doc
+/// comments may quote the syntax (this file does) without parsing as
+/// suppressions.
+fn parse_allows(source: &str, masked: &Masked, code_lines: &[String]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for comment in &masked.comments {
+        if ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|doc| comment.text.starts_with(doc))
+        {
+            continue;
+        }
+        let Some(marker) = comment.text.find(ALLOW_MARKER) else {
+            continue;
+        };
+        let after = &comment.text[marker + ALLOW_MARKER.len()..];
+        let (rule, rest) = match after.split_once(')') {
+            Some((rule, rest)) => (rule.trim().to_string(), rest),
+            // Unclosed `allow(` — record it with an empty rule so the
+            // hygiene pass can flag it.
+            None => (String::new(), ""),
+        };
+        // The reason is whatever follows a dash separator (`—`, `–`,
+        // `--`, `-`, or `:`); it must be non-empty.
+        let reason = rest
+            .trim_start()
+            .trim_start_matches(['—', '–', ':'])
+            .trim_start_matches('-')
+            .trim();
+        let line = line_of(source, comment.start);
+        // Trailing comment → suppresses its own line. Own-line comment →
+        // suppresses the next line with actual code.
+        let own_line = code_lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().is_empty())
+            .unwrap_or(false);
+        let target_line = if own_line {
+            let mut t = line + 1;
+            while let Some(l) = code_lines.get(t as usize - 1) {
+                if !l.trim().is_empty() {
+                    break;
+                }
+                t += 1;
+            }
+            t
+        } else {
+            line
+        };
+        allows.push(Allow {
+            rule,
+            has_reason: !reason.is_empty(),
+            line,
+            target_line,
+        });
+    }
+    allows
+}
+
+/// The crates whose non-test code the determinism rules cover.
+pub const DETERMINISM_CRATES: &[&str] = &[
+    "collections",
+    "core",
+    "experiments",
+    "prefetch",
+    "sequitur",
+    "sim",
+    "trace",
+];
+
+/// The crates the wall-clock/entropy rule covers (the determinism set
+/// plus this lint crate itself). The `bench` crate and the offline
+/// `rand`/`criterion`/`proptest` API shims are allowlisted wholesale:
+/// timing harnesses measure wall-clock time by definition.
+pub const ENTROPY_CRATES: &[&str] = &[
+    "collections",
+    "core",
+    "experiments",
+    "lint",
+    "prefetch",
+    "sequitur",
+    "sim",
+    "trace",
+];
+
+/// Walks the real workspace at `root`, returning the lintable files in
+/// deterministic (sorted) order. Covered: `src/` and `tests/` of every
+/// crate in the determinism set plus `crates/lint/src`. The lint
+/// crate's own `tests/` are excluded — they carry fixture files whose
+/// entire point is to contain violations.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    for crate_name in ENTROPY_CRATES {
+        let crate_dir = root.join("crates").join(crate_name);
+        let mut dirs = vec![crate_dir.join("src")];
+        if *crate_name != "lint" {
+            dirs.push(crate_dir.join("tests"));
+        }
+        for dir in dirs {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    // Paths are collected absolute; strip the root prefix so findings
+    // print repo-relative.
+    let root_prefix = format!("{}/", root.display()).replace('\\', "/");
+    for f in &mut files {
+        if let Some(stripped) = f.path.strip_prefix(&root_prefix) {
+            f.path = stripped.to_string();
+        }
+    }
+    Ok(files)
+}
+
+fn collect_rs(dir: &PathBuf, files: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(()), // a crate without tests/ is fine
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs(&path, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(SourceFile {
+                path: path.display().to_string().replace('\\', "/"),
+                content: std::fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzed(path: &str, content: &str) -> AnalyzedFile {
+        AnalyzedFile::new(&SourceFile {
+            path: path.to_string(),
+            content: content.to_string(),
+        })
+    }
+
+    #[test]
+    fn classifies_paths() {
+        assert_eq!(
+            classify("crates/sim/src/stats.rs"),
+            ("sim".to_string(), FileKind::Lib)
+        );
+        assert_eq!(
+            classify("crates/experiments/src/bin/fig01.rs"),
+            ("experiments".to_string(), FileKind::Bin)
+        );
+        assert_eq!(
+            classify("crates/sequitur/tests/oracle.rs"),
+            ("sequitur".to_string(), FileKind::Tests)
+        );
+    }
+
+    #[test]
+    fn marks_cfg_test_regions() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let f = analyzed("crates/sim/src/x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn parses_trailing_and_own_line_allows() {
+        let src = "\
+// tifs-lint: allow(nondet-iteration) — model comparison is order-insensitive
+let x = map.keys();
+let y = 1; // tifs-lint: allow(wall-clock) -- documented knob
+// tifs-lint: allow(narrowing-cast)
+let z = 2;
+";
+        let f = analyzed("crates/sim/src/x.rs", src);
+        assert_eq!(f.allows.len(), 3);
+        assert_eq!(f.allows[0].rule, "nondet-iteration");
+        assert!(f.allows[0].has_reason);
+        assert_eq!(f.allows[0].target_line, 2, "own-line targets next line");
+        assert_eq!(f.allows[1].rule, "wall-clock");
+        assert!(f.allows[1].has_reason);
+        assert_eq!(f.allows[1].target_line, 3, "trailing targets own line");
+        assert_eq!(f.allows[2].rule, "narrowing-cast");
+        assert!(!f.allows[2].has_reason, "reason is mandatory");
+    }
+
+    #[test]
+    fn doc_comments_quoting_the_syntax_are_not_annotations() {
+        let src = "\
+/// Suppress with `// tifs-lint: allow(<rule>) — <reason>`.
+//! Module docs may say tifs-lint: allow(anything) too.
+fn f() {}
+";
+        let f = analyzed("crates/sim/src/x.rs", src);
+        assert!(f.allows.is_empty(), "{:?}", f.allows);
+    }
+
+    #[test]
+    fn own_line_allow_skips_stacked_comments() {
+        let src = "\
+// tifs-lint: allow(nondet-iteration) — reason text
+// more commentary
+let x = map.keys();
+";
+        let f = analyzed("crates/sim/src/x.rs", src);
+        assert_eq!(f.allows[0].target_line, 3);
+    }
+}

@@ -1,0 +1,145 @@
+//! The expect-findings corpus: each fixture file under `fixtures/` is
+//! linted in memory under a virtual workspace path, and the exact
+//! (rule, line) set it must produce is asserted — including the lines
+//! that must NOT fire (suppressed, auto-allowed, strings, docs).
+
+use tifs_lint::{analyze, generate_lock, rules, Finding, SourceFile};
+
+fn lint_one(virtual_path: &str, content: &str) -> Vec<Finding> {
+    let file = SourceFile {
+        path: virtual_path.to_string(),
+        content: content.to_string(),
+    };
+    analyze(&[file], None)
+}
+
+fn rule_lines(findings: &[Finding]) -> Vec<(&'static str, u32)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn nondet_iteration_corpus() {
+    let findings = lint_one(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/nondet_iteration.rs"),
+    );
+    assert_eq!(
+        rule_lines(&findings),
+        vec![
+            (rules::NONDET_ITERATION, 11),
+            (rules::NONDET_ITERATION, 19),
+            (rules::NONDET_ITERATION, 28),
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn wall_clock_corpus() {
+    let findings = lint_one(
+        "crates/experiments/src/fixture.rs",
+        include_str!("fixtures/wall_clock.rs"),
+    );
+    assert_eq!(
+        rule_lines(&findings),
+        vec![
+            (rules::WALL_CLOCK, 6),
+            (rules::WALL_CLOCK, 11),
+            (rules::WALL_CLOCK, 16),
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn narrowing_cast_corpus() {
+    let findings = lint_one(
+        "crates/trace/src/codec.rs",
+        include_str!("fixtures/narrowing_cast.rs"),
+    );
+    assert_eq!(
+        rule_lines(&findings),
+        vec![(rules::NARROWING_CAST, 7), (rules::NARROWING_CAST, 12)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn bad_allow_corpus() {
+    let findings = lint_one(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/bad_allow.rs"),
+    );
+    assert_eq!(
+        rule_lines(&findings),
+        vec![
+            (rules::BAD_ALLOW, 8),
+            (rules::NONDET_ITERATION, 9),
+            (rules::BAD_ALLOW, 14),
+            (rules::UNUSED_ALLOW, 20),
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn fixtures_do_not_fire_under_uncovered_paths() {
+    // The same violating content is out of scope for the determinism
+    // rules when it lives in an uncovered crate.
+    let findings = lint_one(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/nondet_iteration.rs"),
+    );
+    // The reasoned allow annotation inside the fixture now suppresses
+    // nothing, which is itself a finding — and the only one.
+    assert_eq!(
+        rule_lines(&findings),
+        vec![(rules::UNUSED_ALLOW, 34)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn schema_fixture_gate() {
+    let base = include_str!("fixtures/schema_base.rs");
+    let as_stats = |content: &str| SourceFile {
+        path: "crates/sim/src/stats.rs".to_string(),
+        content: content.to_string(),
+    };
+    let lock = generate_lock(&[as_stats(base)]);
+
+    // Unchanged tree: clean.
+    assert!(analyze(&[as_stats(base)], Some(&lock)).is_empty());
+
+    // A field added to SimReport without a layout-version bump fails.
+    let drifted = base.replace(
+        "pub cores: Vec<CoreStats>,",
+        "pub cores: Vec<CoreStats>,\n    pub sneaky_counter: u64,",
+    );
+    assert_ne!(drifted, base, "mutation must apply");
+    let findings = analyze(&[as_stats(&drifted)], Some(&lock));
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, rules::SCHEMA_DRIFT);
+    assert!(
+        findings[0].message.contains("Bump the version"),
+        "{}",
+        findings[0].message
+    );
+
+    // The same field change WITH a bump asks for lock regeneration…
+    let bumped = drifted.replace(
+        "SIM_REPORT_LAYOUT_VERSION: u32 = 1",
+        "SIM_REPORT_LAYOUT_VERSION: u32 = 2",
+    );
+    let findings = analyze(&[as_stats(&bumped)], Some(&lock));
+    assert!(
+        findings
+            .iter()
+            .all(|f| f.rule == rules::SCHEMA_DRIFT && f.message.contains("--update-schema-lock")),
+        "{findings:#?}"
+    );
+
+    // …and regenerating the lock makes the bumped tree pass.
+    let regenerated = generate_lock(&[as_stats(&bumped)]);
+    assert!(analyze(&[as_stats(&bumped)], Some(&regenerated)).is_empty());
+}

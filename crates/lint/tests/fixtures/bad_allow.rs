@@ -1,0 +1,22 @@
+//! Fixture: annotation-hygiene findings.
+//! Linted with the virtual path `crates/sim/src/fixture.rs`.
+use std::collections::HashMap;
+
+// FINDING below (bad-allow): the reason is mandatory, so the underlying
+// nondet-iteration finding also survives.
+fn reasonless(map: &HashMap<u64, u64>) -> u64 {
+    // tifs-lint: allow(nondet-iteration)
+    map.values().sum()
+}
+
+// FINDING below (bad-allow): unknown rule name.
+fn unknown_rule() -> u64 {
+    // tifs-lint: allow(made-up-rule) — not a rule this tool has
+    7
+}
+
+// FINDING below (unused-allow): nothing to suppress on the target line.
+fn stale() -> u64 {
+    // tifs-lint: allow(wall-clock) — leftover from a deleted clock read
+    9
+}

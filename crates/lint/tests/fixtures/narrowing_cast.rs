@@ -1,0 +1,24 @@
+//! Fixture: narrowing-cast violations and allowed sites.
+//! Linted with the virtual path `crates/trace/src/codec.rs` (the audit
+//! only covers codec.rs / stats.rs basenames).
+
+// FINDING below: u64 → usize can truncate on 32-bit targets.
+fn count(v: u64) -> usize {
+    v as usize
+}
+
+// FINDING below: u64 → u8 drops 56 bits.
+fn tag(v: u64) -> u8 {
+    v as u8
+}
+
+// Widening and float casts never fire.
+fn fine(v: u32) -> (u64, f64) {
+    (v as u64, v as f64)
+}
+
+// Suppressed: annotated with a reason — no finding.
+fn masked(v: u64) -> u8 {
+    // tifs-lint: allow(narrowing-cast) — masked to 7 bits on this path
+    (v & 0x7F) as u8
+}

@@ -1,0 +1,50 @@
+//! Fixture: nondet-iteration violations and non-violations.
+//! Linted with the virtual path `crates/sim/src/fixture.rs`.
+use std::collections::{HashMap, HashSet};
+
+struct Holder {
+    index: HashMap<u64, u64>,
+}
+
+// FINDING below: .values() on a typed param.
+fn sum_values(map: &HashMap<u64, u64>) -> u64 {
+    map.values().sum()
+}
+
+// FINDING below: for-loop over a constructor-bound set.
+fn visit() -> u64 {
+    let mut seen = HashSet::new();
+    seen.insert(3u64);
+    let mut acc = 0;
+    for v in &seen {
+        acc += v;
+    }
+    acc
+}
+
+// FINDING below: .keys() through self on a declared field.
+impl Holder {
+    fn dump(&self) -> Vec<u64> {
+        self.index.keys().copied().collect()
+    }
+}
+
+// Suppressed: annotated with a reason — no finding.
+fn total(map: &HashMap<u64, u64>) -> u64 {
+    // tifs-lint: allow(nondet-iteration) — summation is order-insensitive
+    map.values().sum()
+}
+
+// Lookups, inserts, and Vec iteration never fire.
+fn fine(map: &mut HashMap<u64, u64>, v: &[u64]) -> u64 {
+    map.insert(1, 2);
+    let _ = map.get(&1);
+    let _ = map.contains_key(&1);
+    v.iter().sum()
+}
+
+// Mentions inside strings and docs are inert.
+/// Iterating `map.keys()` on a HashMap would be flagged here.
+fn doc_only() -> &'static str {
+    "for k in map.keys() { HashMap }"
+}

@@ -1,0 +1,33 @@
+//! Fixture: wall-clock/entropy violations and allowed sites.
+//! Linted with the virtual path `crates/experiments/src/fixture.rs`.
+
+// FINDING below: monotonic clock in library code.
+fn timed() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+// FINDING below: wall clock in library code.
+fn stamped() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+// FINDING below: undocumented environment read.
+fn sneaky() -> bool {
+    std::env::var("SOME_RANDOM_VAR").is_ok()
+}
+
+// Auto-allowed: the documented TIFS_* knob is named on the line.
+fn knob() -> bool {
+    std::env::var("TIFS_THREADS").is_ok()
+}
+
+// Suppressed: annotated with a reason — no finding.
+fn excused() -> bool {
+    // tifs-lint: allow(wall-clock) — selects an output directory only
+    std::env::var("OUTPUT_DIR_OVERRIDE").is_ok()
+}
+
+// Mentions inside strings and comments are inert: Instant::now.
+fn doc_only() -> &'static str {
+    "SystemTime::now plus env::var"
+}

@@ -1,0 +1,135 @@
+//! Property tests for the masking lexer: however comments, strings,
+//! raw strings, byte strings, char literals, and lifetimes are
+//! interleaved, rule-trigger tokens survive masking exactly when they
+//! sit in code, and never when they sit inside a literal or a comment.
+
+use proptest::prelude::*;
+use tifs_lint::lexer;
+use tifs_lint::{analyze, SourceFile};
+
+/// Tokens the rule passes react to.
+const TOKENS: [&str; 4] = ["HashMap", "Instant::now", "env::var", ".keys()"];
+
+/// One line-shaped source atom: its text, how many occurrences of each
+/// [`TOKENS`] entry it contributes to *code* (everything else sits in
+/// literals/comments), and how many comments it contributes.
+fn atom(kind: usize) -> (&'static str, [usize; 4], usize) {
+    match kind {
+        0 => ("let x = 1;\n", [0, 0, 0, 0], 0),
+        1 => (
+            "type T = std::collections::HashMap<u64, u64>;\n",
+            [1, 0, 0, 0],
+            0,
+        ),
+        2 => (
+            "// HashMap .keys() Instant::now env::var\n",
+            [0, 0, 0, 0],
+            1,
+        ),
+        3 => (
+            "/* env::var /* HashMap nested */ still comment */\n",
+            [0, 0, 0, 0],
+            1,
+        ),
+        4 => ("let s = \"HashMap env::var .keys()\";\n", [0, 0, 0, 0], 0),
+        5 => (
+            "let r = r#\"Instant::now \"quoted\" .keys()\"#;\n",
+            [0, 0, 0, 0],
+            0,
+        ),
+        6 => (
+            "let b = b\"Instant::now\"; let c = br##\"env::var \"# still\"##;\n",
+            [0, 0, 0, 0],
+            0,
+        ),
+        7 => (
+            "fn f<'a>(x: &'a u64) -> u64 { let q = '\"'; *x }\n",
+            [0, 0, 0, 0],
+            0,
+        ),
+        8 => (
+            "let e = \"a\\\"HashMap\\\" env::var b\";\n",
+            [0, 0, 0, 0],
+            0,
+        ),
+        _ => unreachable!("atom kind out of range"),
+    }
+}
+
+fn count(haystack: &str, needle: &str) -> usize {
+    haystack.matches(needle).count()
+}
+
+proptest! {
+    #[test]
+    fn masking_preserves_geometry(kinds in proptest::collection::vec(0usize..9, 0..40)) {
+        let src: String = kinds.iter().map(|&k| atom(k).0).collect();
+        let masked = lexer::mask(&src);
+        prop_assert_eq!(masked.code.len(), src.len());
+        // Newlines survive byte-for-byte, so line/column arithmetic on
+        // the masked view is valid on the original.
+        let src_newlines: Vec<usize> = src
+            .bytes()
+            .enumerate()
+            .filter(|&(_, b)| b == b'\n')
+            .map(|(i, _)| i)
+            .collect();
+        let masked_newlines: Vec<usize> = masked
+            .code
+            .bytes()
+            .enumerate()
+            .filter(|&(_, b)| b == b'\n')
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(src_newlines, masked_newlines);
+    }
+
+    #[test]
+    fn tokens_survive_only_in_code(kinds in proptest::collection::vec(0usize..9, 0..40)) {
+        let src: String = kinds.iter().map(|&k| atom(k).0).collect();
+        let masked = lexer::mask(&src);
+        for (t, token) in TOKENS.iter().enumerate() {
+            let expected: usize = kinds.iter().map(|&k| atom(k).1[t]).sum();
+            prop_assert_eq!(
+                count(&masked.code, token),
+                expected,
+                "token {} in masked view of:\n{}",
+                token,
+                src
+            );
+        }
+    }
+
+    #[test]
+    fn comments_are_captured_exactly(kinds in proptest::collection::vec(0usize..9, 0..40)) {
+        let src: String = kinds.iter().map(|&k| atom(k).0).collect();
+        let masked = lexer::mask(&src);
+        let expected: usize = kinds.iter().map(|&k| atom(k).2).sum();
+        prop_assert_eq!(masked.comments.len(), expected);
+    }
+
+    #[test]
+    fn masking_is_idempotent(kinds in proptest::collection::vec(0usize..9, 0..40)) {
+        let src: String = kinds.iter().map(|&k| atom(k).0).collect();
+        let once = lexer::mask(&src).code;
+        let twice = lexer::mask(&once).code;
+        prop_assert_eq!(&once, &twice);
+    }
+
+    #[test]
+    fn rules_never_fire_on_literal_or_comment_content(
+        kinds in proptest::collection::vec(0usize..9, 0..40)
+    ) {
+        // None of the atoms iterates a hash table or reads the clock in
+        // code, so whatever the interleaving, the full analyzer must
+        // stay silent — every trigger token it could see lives in a
+        // string, raw string, byte string, or comment.
+        let src: String = kinds.iter().map(|&k| atom(k).0).collect();
+        let file = SourceFile {
+            path: "crates/sim/src/fixture.rs".to_string(),
+            content: src.clone(),
+        };
+        let findings = analyze(&[file], None);
+        prop_assert!(findings.is_empty(), "unexpected findings {:?} on:\n{}", findings, src);
+    }
+}

@@ -1,0 +1,86 @@
+//! The schema-drift gate, proven against the *real* tree: a field
+//! spliced into the actual `SimReport` (without touching
+//! `SIM_REPORT_LAYOUT_VERSION`) must fail the lint against the
+//! committed `crates/lint/schema.lock`, and the unmodified tree must
+//! pass — so the committed lock can never silently go stale.
+
+use std::path::Path;
+
+use tifs_lint::{analyze, rules, scan_workspace};
+
+fn repo_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+fn read_lock() -> String {
+    std::fs::read_to_string(repo_root().join("crates/lint/schema.lock"))
+        .expect("crates/lint/schema.lock must be committed")
+}
+
+#[test]
+fn committed_lock_matches_the_tree() {
+    let files = scan_workspace(repo_root()).expect("workspace scan");
+    let lock = read_lock();
+    let drift: Vec<_> = analyze(&files, Some(&lock))
+        .into_iter()
+        .filter(|f| f.rule == rules::SCHEMA_DRIFT)
+        .collect();
+    assert!(
+        drift.is_empty(),
+        "schema.lock is stale — run `cargo run -p tifs-lint -- --update-schema-lock` \
+         (after bumping the layout version if fields changed): {drift:#?}"
+    );
+}
+
+#[test]
+fn real_sim_report_field_change_without_bump_fails() {
+    let mut files = scan_workspace(repo_root()).expect("workspace scan");
+    let stats = files
+        .iter_mut()
+        .find(|f| f.path == "crates/sim/src/stats.rs")
+        .expect("stats.rs is scanned");
+    let anchor = "pub l2: L2Stats,";
+    assert!(
+        stats.content.contains(anchor),
+        "SimReport anchor field moved; update this test"
+    );
+    stats.content = stats.content.replace(
+        anchor,
+        "pub l2: L2Stats,\n    pub injected_unversioned_field: u64,",
+    );
+
+    let findings = analyze(&files, Some(&read_lock()));
+    let drift: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == rules::SCHEMA_DRIFT)
+        .collect();
+    assert_eq!(drift.len(), 1, "{findings:#?}");
+    assert_eq!(drift[0].path, "crates/sim/src/stats.rs");
+    assert!(
+        drift[0].message.contains("SimReport") && drift[0].message.contains("Bump the version"),
+        "{}",
+        drift[0].message
+    );
+}
+
+#[test]
+fn real_version_bump_asks_for_lock_regeneration() {
+    let mut files = scan_workspace(repo_root()).expect("workspace scan");
+    let stats = files
+        .iter_mut()
+        .find(|f| f.path == "crates/sim/src/stats.rs")
+        .expect("stats.rs is scanned");
+    let anchor = "pub const SIM_REPORT_LAYOUT_VERSION: u32 = ";
+    assert!(stats.content.contains(anchor), "version const moved");
+    stats.content = stats
+        .content
+        .replace(anchor, "pub const SIM_REPORT_LAYOUT_VERSION: u32 = 9");
+
+    let findings = analyze(&files, Some(&read_lock()));
+    assert!(
+        findings.iter().any(|f| f.rule == rules::SCHEMA_DRIFT
+            && f.message.contains("SIM_REPORT_LAYOUT_VERSION")
+            && f.message.contains("--update-schema-lock")),
+        "{findings:#?}"
+    );
+}

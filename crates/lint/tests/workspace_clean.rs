@@ -1,0 +1,25 @@
+//! The whole workspace must lint clean: `cargo test` proves the same
+//! zero-findings invariant CI enforces via the `tifs-lint` binary, so
+//! a violation fails locally before it ever reaches CI.
+
+use std::path::Path;
+
+use tifs_lint::{analyze, render_human, scan_workspace};
+
+#[test]
+fn workspace_has_zero_unannotated_findings() {
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let files = scan_workspace(root).expect("workspace scan");
+    assert!(
+        files.len() > 20,
+        "scan looks broken — only {} files found",
+        files.len()
+    );
+    let lock = std::fs::read_to_string(root.join("crates/lint/schema.lock")).ok();
+    let findings = analyze(&files, lock.as_deref());
+    assert!(
+        findings.is_empty(),
+        "fix or annotate (tifs-lint: allow(<rule>) — <reason>):\n{}",
+        render_human(&findings)
+    );
+}

@@ -12,6 +12,8 @@
 //! All instruction prefetchers implement
 //! [`tifs_sim::prefetch::IPrefetcher`] and plug into the CMP timing model.
 
+#![forbid(unsafe_code)]
+
 pub mod buffer;
 pub mod discontinuity;
 pub mod fdip;

@@ -14,6 +14,8 @@
 //!   and the deterministic seeding means the case reproduces exactly;
 //! * `PROPTEST_CASES` overrides the per-test case count (default 64).
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 

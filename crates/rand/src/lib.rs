@@ -22,6 +22,8 @@
 //! assert!((0.0..1.0).contains(&x));
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level source of 64-bit random words.

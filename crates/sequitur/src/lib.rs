@@ -37,6 +37,8 @@
 //! assert!(classes[..4].iter().all(|c| *c == MissClass::NonRepetitive));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod categorize;
 pub mod grammar;
 pub mod heuristics;

@@ -553,6 +553,9 @@ mod reference {
             }
             // Every digram-index entry must point at a live node whose digram
             // matches its key.
+            // tifs-lint: allow(nondet-iteration) — frozen pre-arena oracle;
+            // the loop only asserts a per-entry invariant, so visit order
+            // cannot affect the outcome.
             for (&(a, b), &n) in &self.digrams {
                 assert!(
                     self.alive(n),

@@ -40,6 +40,8 @@
 //! assert!(report.aggregate_ipc() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bpred;
 pub mod cache;
 pub mod cmp;

@@ -239,7 +239,7 @@ impl SimReport {
     /// non-UTF-8 counter name — is an error, never a wrong report.
     pub fn from_canonical_bytes(bytes: &[u8]) -> Result<SimReport, ReportCodecError> {
         let mut cur = Cursor { bytes, pos: 0 };
-        let n_cores = cur.u64()? as usize;
+        let n_cores = usize_count(cur.u64()?)?;
         // A corrupt count cannot trigger an unbounded allocation: every
         // core costs 80 bytes, so cap the preallocation by what remains.
         let mut cores = Vec::with_capacity(n_cores.min(bytes.len() / 80 + 1));
@@ -272,10 +272,10 @@ impl SimReport {
             queue_delay: cur.u64()?,
         };
         let cycles = cur.u64()?;
-        let n_counters = cur.u64()? as usize;
+        let n_counters = usize_count(cur.u64()?)?;
         let mut prefetcher = Vec::with_capacity(n_counters.min(bytes.len() / 16 + 1));
         for _ in 0..n_counters {
-            let len = cur.u64()? as usize;
+            let len = usize_count(cur.u64()?)?;
             let raw = cur.take(len)?;
             let name = std::str::from_utf8(raw)
                 .map_err(|_| ReportCodecError::BadCounterName)?
@@ -292,12 +292,14 @@ impl SimReport {
             if section != u64::from(SIM_REPORT_EVENT_LAYOUT_VERSION) {
                 return Err(ReportCodecError::BadEventSection(section));
             }
-            let n_events = cur.u64()? as usize;
+            let n_events = usize_count(cur.u64()?)?;
             l2_events.reserve(n_events.min(bytes.len() / 24 + 1));
             for _ in 0..n_events {
                 let issue = cur.u64()?;
                 let block = BlockAddr(cur.u64()?);
                 let packed = cur.u64()?;
+                // tifs-lint: allow(narrowing-cast) — `& 0xFF` bounds the
+                // value to 8 bits; the cast cannot lose information.
                 let kind = L2ReqKind::from_index((packed & 0xFF) as usize)
                     .ok_or(ReportCodecError::BadEventKind)?;
                 let hit = match packed >> 8 {
@@ -312,7 +314,7 @@ impl SimReport {
                     hit,
                 });
             }
-            let n_warm = cur.u64()? as usize;
+            let n_warm = usize_count(cur.u64()?)?;
             l2_warm_blocks.reserve(n_warm.min(bytes.len() / 8 + 1));
             for _ in 0..n_warm {
                 l2_warm_blocks.push(BlockAddr(cur.u64()?));
@@ -417,6 +419,9 @@ pub enum ReportCodecError {
     BadEventSection(u64),
     /// An event carried an invalid kind index or hit flag.
     BadEventKind,
+    /// A count field exceeds the address space — it cannot possibly
+    /// describe items present in the payload.
+    CountOverflow,
 }
 
 impl std::fmt::Display for ReportCodecError {
@@ -429,8 +434,15 @@ impl std::fmt::Display for ReportCodecError {
                 write!(f, "unknown event-section version {v}")
             }
             ReportCodecError::BadEventKind => write!(f, "invalid event kind or hit flag"),
+            ReportCodecError::CountOverflow => write!(f, "count overflows the address space"),
         }
     }
+}
+
+/// Converts a decoded count to `usize`, rejecting values a 32-bit
+/// target cannot address instead of silently truncating them.
+fn usize_count(v: u64) -> Result<usize, ReportCodecError> {
+    usize::try_from(v).map_err(|_| ReportCodecError::CountOverflow)
 }
 
 impl std::error::Error for ReportCodecError {}
@@ -699,5 +711,36 @@ mod tests {
         let base = mk(1000, 1000);
         let fast = mk(1000, 800);
         assert!((fast.speedup_over(&base) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hostile_counts_error_instead_of_truncating() {
+        // Counts decode through `usize_count` (try_from, never `as`), so
+        // a hostile u64 count is an error on every target width — here
+        // it manifests as truncation because the payload cannot actually
+        // hold that many items.
+        let put = |b: &mut Vec<u8>, v: u64| b.extend_from_slice(&v.to_le_bytes());
+        let mut cores = Vec::new();
+        put(&mut cores, u64::MAX);
+        assert_eq!(
+            SimReport::from_canonical_bytes(&cores),
+            Err(ReportCodecError::Truncated)
+        );
+
+        // Same for a counter-name length deep in an otherwise valid
+        // payload: 0 cores, a zeroed L2 block, cycles, one counter whose
+        // name claims u64::MAX bytes.
+        let mut name_len = Vec::new();
+        put(&mut name_len, 0);
+        for _ in 0..13 {
+            put(&mut name_len, 0);
+        }
+        put(&mut name_len, 0);
+        put(&mut name_len, 1);
+        put(&mut name_len, u64::MAX);
+        assert_eq!(
+            SimReport::from_canonical_bytes(&name_len),
+            Err(ReportCodecError::Truncated)
+        );
     }
 }

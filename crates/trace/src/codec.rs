@@ -140,8 +140,16 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
+/// Converts a decoded count to `usize`, rejecting values a 32-bit
+/// target cannot address instead of silently truncating them.
+fn usize_count(v: u64) -> Result<usize, CodecError> {
+    usize::try_from(v).map_err(|_| CodecError::Corrupt("count overflows the address space"))
+}
+
 fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     loop {
+        // tifs-lint: allow(narrowing-cast) — `& 0x7F` bounds the value
+        // to 7 bits; the cast cannot lose information.
         let byte = (v & 0x7F) as u8;
         v >>= 7;
         if v == 0 {
@@ -222,7 +230,7 @@ pub fn read_trace<R: Read>(r: &mut R) -> Result<Vec<FetchRecord>, CodecError> {
     }
     let mut c8 = [0u8; 8];
     r.read_exact(&mut c8)?;
-    let count = u64::from_le_bytes(c8) as usize;
+    let count = usize_count(u64::from_le_bytes(c8))?;
 
     let mut out = Vec::with_capacity(count.min(1 << 24));
     let mut prev_pc: u64 = 0;
@@ -373,10 +381,10 @@ pub fn read_symbol_sections<R: Read>(
     }
 
     let mut br = body.as_slice();
-    let n_sections = read_varint(&mut br)? as usize;
+    let n_sections = usize_count(read_varint(&mut br)?)?;
     let mut out = Vec::with_capacity(n_sections.min(1 << 10));
     for _ in 0..n_sections {
-        let n = read_varint(&mut br)? as usize;
+        let n = usize_count(read_varint(&mut br)?)?;
         let mut section = Vec::with_capacity(n.min(1 << 24));
         let mut prev: u64 = 0;
         for _ in 0..n {
@@ -553,6 +561,21 @@ mod tests {
         match read_trace(&mut buf.as_slice()) {
             Err(CodecError::BadVersion(_)) => {}
             other => panic!("expected BadVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_record_count_errors_instead_of_truncating() {
+        // The record count decodes through `usize_count` (try_from,
+        // never `as`), so a hostile u64 is an error on every target
+        // width; with no payload behind it, it surfaces as Corrupt.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        match read_trace(&mut buf.as_slice()) {
+            Err(CodecError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
         }
     }
 

@@ -33,6 +33,8 @@
 //! assert!(discontinuous.len() < blocks.len());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod exec;
 pub mod filter;

@@ -36,6 +36,8 @@
 //! assert!(report.aggregate_ipc() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use tifs_core as core;
 pub use tifs_experiments as experiments;
 pub use tifs_prefetch as prefetch;
