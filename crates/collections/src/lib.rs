@@ -303,6 +303,18 @@ impl<V: Copy + Default> BlockMap<V> {
             }
         }
     }
+
+    /// Iterates over all entries in slot order. The order is an artifact
+    /// of the table layout — deterministic for a given insertion/removal
+    /// history, but not meaningful; callers must not let it decide
+    /// anything order-sensitive (collect and sort, or treat as a set).
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, V)> + '_ {
+        self.keys
+            .iter()
+            .zip(self.vals.iter())
+            .filter(|&(&k, _)| k != EMPTY)
+            .map(|(&k, &v)| (BlockAddr(k), v))
+    }
 }
 
 /// Smallest power-of-two slot count that keeps `capacity` entries at or

@@ -83,6 +83,9 @@ pub struct GrammarHistory {
     appends: u64,
     /// Lifetime evictions at the last counter reset (warmup discard).
     evicted_baseline: u64,
+    /// Evictions charged by builders discarded in [`flush_core`]
+    /// (their lifetime counts leave the live sum but already happened).
+    flushed_evictions: u64,
 }
 
 impl GrammarHistory {
@@ -109,7 +112,26 @@ impl GrammarHistory {
             refreshes: 0,
             appends: 0,
             evicted_baseline: 0,
+            flushed_evictions: 0,
         }
+    }
+
+    /// Context-switch flush of `core`'s slice: the grammar, snapshot, and
+    /// head index restart empty — the incoming program must not stream
+    /// from rules learned on the outgoing one. The discarded builder's
+    /// lifetime evictions stay in the counter accounting (they happened).
+    pub fn flush_core(&mut self, core: usize) {
+        let index_budget = self.cfg.budget_bytes_per_core / 4;
+        let grammar_budget = self.cfg.budget_bytes_per_core - index_budget;
+        self.flushed_evictions += self.cores[core].builder.evicted_terminals();
+        let builder = StreamingSequitur::new(grammar_budget, self.cfg.rle);
+        let snapshot = builder.snapshot();
+        self.cores[core] = CoreHistory {
+            builder,
+            snapshot,
+            heads: BlockMap::new(),
+            appends_since_refresh: 0,
+        };
     }
 
     /// Folds one retired miss into `core`'s grammar, refreshing the
@@ -241,7 +263,7 @@ impl GrammarHistory {
             .iter()
             .map(|c| c.builder.evicted_terminals())
             .sum();
-        total - self.evicted_baseline
+        total + self.flushed_evictions - self.evicted_baseline
     }
 
     /// Zeroes event counters (warmup discard); contents are preserved.
@@ -252,7 +274,8 @@ impl GrammarHistory {
             .cores
             .iter()
             .map(|c| c.builder.evicted_terminals())
-            .sum();
+            .sum::<u64>()
+            + self.flushed_evictions;
     }
 }
 

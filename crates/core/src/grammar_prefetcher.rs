@@ -259,6 +259,13 @@ impl IPrefetcher for TifsGrammarPrefetcher {
 
     fn on_l2_evict(&mut self, _block: BlockAddr) {}
 
+    fn on_flush(&mut self, ctx: &mut PrefetchCtx<'_>) {
+        // As TIFS: streams die and the core's learned grammar restarts
+        // empty; the L1 mirror stays (caches survive a context switch).
+        self.svbs[ctx.core].flush();
+        self.history.flush_core(ctx.core);
+    }
+
     fn tick(&mut self, ctx: &mut PrefetchCtx<'_>) {
         for core in 0..self.svbs.len() {
             self.pump_streams(ctx, core);

@@ -165,6 +165,16 @@ impl Iml {
         pos >= self.base && pos < self.appended
     }
 
+    /// Discards every retained entry without rewinding positions: `base`
+    /// jumps to `appended`, so the absolute position space stays
+    /// monotonic and any Index-Table pointer into the discarded window is
+    /// invalid from now on — exactly the semantics of a context-switch
+    /// flush, where the outgoing program's history must not be replayed
+    /// into the incoming one.
+    pub fn clear(&mut self) {
+        self.base = self.appended;
+    }
+
     /// Currently retained entries.
     pub fn len(&self) -> usize {
         (self.appended - self.base) as usize
@@ -287,6 +297,22 @@ mod tests {
             entries_per_core_for_kb(156.0, 4),
             ((156.0f64 * 1024.0 * 8.0 / 39.0) / 4.0) as usize
         );
+    }
+
+    #[test]
+    fn clear_invalidates_without_rewinding_positions() {
+        let mut iml = Iml::new(Some(16));
+        for i in 0..5u64 {
+            iml.append(BlockAddr(i), false);
+        }
+        iml.clear();
+        assert!(iml.is_empty());
+        assert!(!iml.is_valid(4), "pre-flush positions must die");
+        // Position space keeps counting: stale pointers can never alias a
+        // post-flush entry.
+        assert_eq!(iml.append(BlockAddr(99), false), 5);
+        assert_eq!(iml.get(5).unwrap().block, BlockAddr(99));
+        assert_eq!(iml.len(), 1);
     }
 
     #[test]

@@ -23,8 +23,8 @@ use tifs_sim::prefetch::{FetchKind, IPrefetcher, PrefetchCtx};
 use tifs_trace::BlockAddr;
 
 use crate::iml::ENTRIES_PER_L2_BLOCK;
-use crate::index::{ImlPtr, IndexKind, IndexTable};
-use crate::sharing::{HistoryBuffers, MetadataOrg};
+use crate::index::{ImlPtr, IndexCapacity, IndexKind, IndexTable};
+use crate::sharing::{CapacityPartition, HistoryBuffers, MetadataOrg};
 use crate::svb::Svb;
 
 /// IML storage organization (the three TIFS bars of paper Figure 13).
@@ -67,6 +67,14 @@ pub struct TifsConfig {
     /// paper's private per-core capacity, or a shared pool behind
     /// arbitrated ports at the same total storage.
     pub metadata: MetadataOrg,
+    /// Index-Table capacity in entries per core (`None` = unbounded, the
+    /// paper's configuration). A bounded table partitions its capacity
+    /// the way [`TifsConfig::metadata`] partitions history: static
+    /// per-core quotas under private/quota organizations, one pooled
+    /// budget with globally-oldest eviction under a fully-shared pool —
+    /// so the *whole* metadata stack (history and index) moves together
+    /// along the sharing axis.
+    pub index_capacity: Option<usize>,
 }
 
 impl TifsConfig {
@@ -83,6 +91,7 @@ impl TifsConfig {
             rate_target: 8,
             end_of_stream: true,
             metadata: MetadataOrg::PrivatePerCore,
+            index_capacity: None,
         }
     }
 
@@ -150,10 +159,21 @@ impl TifsPrefetcher {
             ImlStorage::Dedicated { entries_per_core }
             | ImlStorage::Virtualized { entries_per_core } => Some(entries_per_core),
         };
+        let index_capacity = cfg.index_capacity.map(|per_core| IndexCapacity {
+            per_core,
+            num_cores,
+            pooled: matches!(
+                cfg.metadata,
+                MetadataOrg::Shared {
+                    capacity_partition: CapacityPartition::FullyShared,
+                    ..
+                }
+            ),
+        });
         TifsPrefetcher {
             cfg,
             history: HistoryBuffers::new(num_cores, capacity, cfg.metadata),
-            index: IndexTable::new(cfg.index),
+            index: IndexTable::with_capacity(cfg.index, index_capacity),
             ports: MetadataPorts::new(num_cores, cfg.metadata.port_ways()),
             svbs: (0..num_cores)
                 .map(|_| Svb::new(cfg.svb_blocks, cfg.stream_contexts))
@@ -444,6 +464,20 @@ impl IPrefetcher for TifsPrefetcher {
 
     fn on_l2_evict(&mut self, block: BlockAddr) {
         self.index.on_l2_evict(block);
+    }
+
+    fn on_flush(&mut self, ctx: &mut PrefetchCtx<'_>) {
+        let core = ctx.core;
+        // The incoming program must see none of the outgoing one's
+        // temporal metadata: streams die (generation bump), the core's
+        // history window is discarded (positions stay monotonic, so
+        // other cores' streams into this log simply run dry), and every
+        // Index-Table pointer into it is invalidated. The L1 mirror is
+        // *not* cleared — caches keep their contents across a context
+        // switch; only prediction metadata flushes.
+        self.svbs[core].flush();
+        self.history.flush_core(core);
+        self.index.flush_core(core as u8);
     }
 
     fn tick(&mut self, ctx: &mut PrefetchCtx<'_>) {

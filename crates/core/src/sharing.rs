@@ -225,6 +225,17 @@ impl HistoryBuffers {
         self.imls[core].len()
     }
 
+    /// Context-switch flush of `core`'s history: every retained entry is
+    /// discarded (positions stay monotonic, so stale Index-Table pointers
+    /// die rather than alias) and, under a fully-shared pool, the core's
+    /// stamps go with them — the freed capacity immediately becomes
+    /// available to the other cores. Flush drops are not counted as pool
+    /// evictions: they are an external event, not capacity pressure.
+    pub fn flush_core(&mut self, core: usize) {
+        self.imls[core].clear();
+        self.stamps[core].clear();
+    }
+
     /// Zeroes the eviction counter (warmup discard); contents are
     /// preserved.
     pub fn reset_counters(&mut self) {
@@ -317,6 +328,25 @@ mod tests {
         }
         assert_eq!(pool.pool_evictions(), 0);
         assert_eq!(pool.core_len(0) + pool.core_len(1), 500);
+    }
+
+    #[test]
+    fn flush_core_frees_pool_capacity_for_other_cores() {
+        let mut pool = HistoryBuffers::new(2, Some(QUOTA), MetadataOrg::shared_pool(0));
+        for i in 0..40u64 {
+            pool.append(0, BlockAddr(i), false);
+        }
+        pool.flush_core(0);
+        assert_eq!(pool.core_len(0), 0);
+        assert!(!pool.is_valid(0, 39));
+        // The freed 40 entries are usable by core 1 without evictions.
+        for i in 0..48u64 {
+            pool.append(1, BlockAddr(100 + i), false);
+        }
+        assert_eq!(pool.pool_evictions(), 0, "flush is not an eviction");
+        assert_eq!(pool.core_len(1), 48);
+        // Core 0's positions keep counting after the flush.
+        assert_eq!(pool.append(0, BlockAddr(7), false), 40);
     }
 
     #[test]

@@ -262,6 +262,25 @@ impl Svb {
         self.hits = 0;
         self.discards = 0;
     }
+
+    /// Context-switch flush: drops every buffered and in-flight block and
+    /// idles every stream, bumping each generation so any reference to a
+    /// pre-flush stream dies. The incoming program must not consume the
+    /// outgoing one's streamed blocks, so nothing survives; the drops are
+    /// *not* charged as discards — a flush is an external event, not a
+    /// prefetcher mistake, and the discard counter feeds the paper's
+    /// overprediction accounting.
+    pub fn flush(&mut self) {
+        self.buffer.clear();
+        self.inflight = FillQueue::new();
+        for s in &mut self.streams {
+            let generation = s.generation + 1;
+            *s = StreamCtx {
+                generation,
+                ..StreamCtx::idle()
+            };
+        }
+    }
 }
 
 #[cfg(test)]
@@ -330,6 +349,25 @@ mod tests {
         svb.take(BlockAddr(3), 5);
         let c = svb.allocate_stream(6, 0, 0);
         assert_eq!(c, b, "LRU context replaced");
+    }
+
+    #[test]
+    fn flush_empties_everything_without_charging_discards() {
+        let mut svb = Svb::new(4, 2);
+        let sid = svb.allocate_stream(0, 0, 0);
+        svb.note_inflight(BlockAddr(1), 0, sid);
+        svb.note_inflight(BlockAddr(2), 50, sid);
+        svb.drain_arrivals(10); // block 1 buffered, block 2 in flight
+        let gen_before = svb.streams()[sid as usize].generation;
+        svb.flush();
+        assert!(!svb.holds(BlockAddr(1)) && !svb.holds(BlockAddr(2)));
+        assert_eq!(svb.take(BlockAddr(1), 20), None);
+        assert_eq!(svb.discards(), 0, "flush drops are not discards");
+        assert!(svb.streams().iter().all(|s| !s.active));
+        assert!(
+            svb.streams()[sid as usize].generation > gen_before,
+            "generation bump dissociates pre-flush references"
+        );
     }
 
     #[test]

@@ -81,7 +81,7 @@ use tifs_trace::codec::REPORT_VERSION;
 use tifs_trace::store::{
     hash_workload_spec, Fingerprint, ReportKey, ReportStore, TraceKey, TraceStore,
 };
-use tifs_trace::workload::{Workload, WorkloadSpec};
+use tifs_trace::workload::{CellPrograms, CellWorkload, Workload, WorkloadSpec};
 use tifs_trace::{BlockAddr, FetchRecord};
 
 use crate::harness::{ExpConfig, SystemKind};
@@ -370,6 +370,32 @@ pub fn run_cell(
     cmp.run_with_warmup(exp.warmup, exp.instructions)
 }
 
+/// Runs one heterogeneous-mix cell: core `c` walks
+/// [`CellPrograms::walker`]`(c)` — its own mix position's program in its
+/// own address-space slot — on the shared `sys` CMP. A homogeneous cell
+/// (or a degenerate mix, which [`CellPrograms::build`] canonicalizes)
+/// deduplicates to the single slot-0 program and reproduces [`run_cell`]
+/// byte for byte.
+///
+/// The prefetcher is built against core 0's workload; that argument only
+/// matters to [`SystemKind::Fdip`], which pre-decodes one program image —
+/// mix grids measure TIFS/NextLine systems, whose construction ignores
+/// it. (An FDIP mix cell would need per-core decoders; gate it here if
+/// that study ever materializes.)
+pub fn run_cell_mix(
+    programs: &CellPrograms,
+    system: &SystemSpec,
+    exp: &ExpConfig,
+    sys: &SystemConfig,
+) -> SimReport {
+    let streams: Vec<_> = (0..sys.num_cores)
+        .map(|c| Box::new(programs.walker(c)) as Box<dyn Iterator<Item = FetchRecord>>)
+        .collect();
+    let pf = build_prefetcher(system, programs.workload_for_core(0), sys, exp.seed);
+    let mut cmp = Cmp::new(sys.clone(), streams, pf);
+    cmp.run_with_warmup(exp.warmup, exp.instructions)
+}
+
 // ---------------------------------------------------------------------------
 // Report-store keys — content addresses over the full cell configuration.
 // ---------------------------------------------------------------------------
@@ -398,6 +424,60 @@ pub fn report_key(
     h.u64(u64::from(REPORT_VERSION));
     h.u64(u64::from(SIM_REPORT_LAYOUT_VERSION));
     hash_workload_spec(&mut h, spec);
+    finish_report_key(h, workload_seed, system, exp, sys, mode)
+}
+
+/// Content address of one heterogeneous-mix cell's [`SimReport`].
+///
+/// The key hashes *append-only* relative to [`report_key`]: the cell is
+/// canonicalized first ([`CellWorkload::canonical`]), and a homogeneous
+/// cell — including any degenerate mix — delegates to [`report_key`]
+/// byte for byte, so every store entry minted before the mix axis
+/// existed stays warm (pinned by the `report_key_stability` suite). A
+/// genuine mix replaces the single-spec section with a tagged sequence:
+/// the tag `"mix"`, the position count, then each position's full
+/// [`hash_workload_spec`] *in core-assignment order* — so two mixes
+/// differing in any per-core spec, or only in assignment order
+/// (`[A, B]` vs `[B, A]`), address disjoint content. Keying the cell by
+/// an unordered spec *set* (or by one representative spec) was the
+/// collision class this addresses: distinct fleets must never share a
+/// cached report.
+pub fn report_key_cell(
+    cell: &CellWorkload,
+    workload_seed: u64,
+    system: &SystemSpec,
+    exp: &ExpConfig,
+    sys: &SystemConfig,
+    mode: ExecMode,
+) -> ReportKey {
+    match cell.canonical() {
+        CellWorkload::Homogeneous(spec) => report_key(&spec, workload_seed, system, exp, sys, mode),
+        CellWorkload::Mix(specs) => {
+            let mut h = Fingerprint::new();
+            h.u64(u64::from(REPORT_VERSION));
+            h.u64(u64::from(SIM_REPORT_LAYOUT_VERSION));
+            h.u64(0x006d_6978); // "mix"
+            h.u64(specs.len() as u64);
+            for spec in &specs {
+                hash_workload_spec(&mut h, spec);
+            }
+            finish_report_key(h, workload_seed, system, exp, sys, mode)
+        }
+    }
+}
+
+/// The shared tail of [`report_key`] / [`report_key_cell`]: everything
+/// after the workload section. Keeping one implementation guarantees the
+/// two key flavours feed byte-identical suffixes, so the homogeneous
+/// delegation above really is exact.
+fn finish_report_key(
+    mut h: Fingerprint,
+    workload_seed: u64,
+    system: &SystemSpec,
+    exp: &ExpConfig,
+    sys: &SystemConfig,
+    mode: ExecMode,
+) -> ReportKey {
     h.u64(workload_seed);
     h.u64(exp.seed);
     h.u64(exp.instructions);
@@ -545,6 +625,7 @@ fn hash_tifs_config(h: &mut Fingerprint, cfg: &TifsConfig) {
         rate_target,
         end_of_stream,
         metadata,
+        index_capacity,
     } = cfg;
     match storage {
         ImlStorage::Unbounded => h.u64(0),
@@ -579,6 +660,13 @@ fn hash_tifs_config(h: &mut Fingerprint, cfg: &TifsConfig) {
             });
         }
     }
+    // Append-only: an unbounded Index Table (the only configuration that
+    // existed before this knob) contributes nothing, so pre-existing keys
+    // are unchanged; bounded tables append a tagged suffix ("idxc").
+    if let Some(entries) = index_capacity {
+        h.u64(0x6964_7863);
+        h.u64(*entries as u64);
+    }
 }
 
 /// Loads and decodes one cached cell report. The frame (magic, version,
@@ -595,6 +683,92 @@ fn load_cached_report(store: &ReportStore, key: &ReportKey) -> Option<SimReport>
             None
         }
     }
+}
+
+/// Runs a batch of heterogeneous-mix cells against a set of systems and
+/// returns one report row per cell, in `systems` order — the mix-axis
+/// analogue of [`ExperimentGrid::run_on`]. Every cell runs the **coupled
+/// CMP**: per-core sharding would simulate each tenant on a private
+/// 1-core system, dissolving exactly the cross-tenant interference the
+/// mix axis studies, so the mode is fixed rather than read from the
+/// environment (as [`fig_sharing`](crate::figures::fig_sharing) does).
+///
+/// With a [`ReportStore`] attached to `lab`, each cell consults the store
+/// under its [`report_key_cell`] first; only missing cells build their
+/// [`CellPrograms`] and simulate (fanned across `threads` workers), then
+/// write through. Cached cells skip the program build entirely, so a warm
+/// run is all store reads.
+pub fn run_mix_cells(
+    lab: &Lab,
+    sys: &SystemConfig,
+    cells: &[CellWorkload],
+    systems: &[SystemSpec],
+    threads: usize,
+) -> Vec<Vec<SimReport>> {
+    let exp = *lab.exp();
+    let store = lab.report_store();
+    let pairs: Vec<(usize, usize)> = (0..cells.len())
+        .flat_map(|c| (0..systems.len()).map(move |s| (c, s)))
+        .collect();
+    let key_of = |c: usize, s: usize| {
+        report_key_cell(
+            &cells[c],
+            exp.seed,
+            &systems[s],
+            &exp,
+            sys,
+            ExecMode::Coupled,
+        )
+    };
+    let mut reports: Vec<Option<SimReport>> = match store {
+        Some(store) => pairs
+            .iter()
+            .map(|&(c, s)| load_cached_report(store, &key_of(c, s)))
+            .collect(),
+        None => pairs.iter().map(|_| None).collect(),
+    };
+    let missing: Vec<(usize, usize)> = pairs
+        .iter()
+        .zip(&reports)
+        .filter(|(_, cached)| cached.is_none())
+        .map(|(&pair, _)| pair)
+        .collect();
+    let mut need = vec![false; cells.len()];
+    for &(c, _) in &missing {
+        need[c] = true;
+    }
+    let programs: Vec<Option<CellPrograms>> = par::map(cells, threads, |i, cell| {
+        need[i].then(|| CellPrograms::build(cell, exp.seed))
+    });
+    let computed: Vec<SimReport> = par::map(&missing, threads, |_, &(c, s)| {
+        let programs = programs[c]
+            .as_ref()
+            .expect("programs built for missing cell");
+        run_cell_mix(programs, &systems[s], &exp, sys)
+    });
+    let mut computed_iter = computed.into_iter();
+    for (slot, &(c, s)) in reports.iter_mut().zip(&pairs) {
+        if slot.is_none() {
+            let report = computed_iter.next().expect("one report per missing cell");
+            if let Some(store) = store {
+                if let Err(e) = store.save(&key_of(c, s), &report.to_canonical_bytes()) {
+                    eprintln!(
+                        "[report-store] failed to persist mix cell ({}, {}): {e}",
+                        cells[c].name(),
+                        systems[s].name()
+                    );
+                }
+            }
+            *slot = Some(report);
+        }
+    }
+    let mut rows: Vec<Vec<SimReport>> = (0..cells.len())
+        .map(|_| Vec::with_capacity(systems.len()))
+        .collect();
+    for ((c, _), report) in pairs.into_iter().zip(reports) {
+        rows[c].push(report.expect("every cell resolved"));
+    }
+    rows
 }
 
 // ---------------------------------------------------------------------------
@@ -1850,5 +2024,111 @@ mod tests {
         let serial = grid.clone().serial().run();
         let parallel = grid.threads(8).run();
         assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+    }
+
+    #[test]
+    fn mix_keys_are_per_core_spec_and_order_sensitive() {
+        // The collision class this keying fixes: a cell key that ignored
+        // the per-core assignment (hashing one representative spec, or an
+        // unordered spec set) maps the distinct fleets below to one
+        // address. Every pair here must stay disjoint.
+        let a = WorkloadSpec::tiny_test();
+        let b = WorkloadSpec::tiny_test().with_duty_cycle(0.5);
+        let exp = tiny_exp();
+        let sys = SystemConfig::single_core();
+        let system = SystemSpec::Kind(SystemKind::TifsVirtualized);
+        let key = |cell: &CellWorkload| {
+            report_key_cell(cell, exp.seed, &system, &exp, &sys, ExecMode::Coupled)
+        };
+        let homog_a = key(&CellWorkload::Homogeneous(a.clone()));
+        let homog_b = key(&CellWorkload::Homogeneous(b.clone()));
+        let mix_ab = key(&CellWorkload::Mix(vec![a.clone(), b.clone()]));
+        let mix_ba = key(&CellWorkload::Mix(vec![b.clone(), a.clone()]));
+        let mix_aab = key(&CellWorkload::Mix(vec![a.clone(), a.clone(), b.clone()]));
+        let distinct = [homog_a, homog_b, mix_ab, mix_ba, mix_aab];
+        for (i, x) in distinct.iter().enumerate() {
+            for y in &distinct[i + 1..] {
+                assert_ne!(x, y, "distinct fleets must address distinct content");
+            }
+        }
+        // Append-only: a degenerate mix canonicalizes to the homogeneous
+        // cell and hashes to exactly the pre-mix key, so every store
+        // entry minted before the axis existed stays warm.
+        assert_eq!(key(&CellWorkload::Mix(vec![a.clone(), a.clone()])), homog_a);
+        assert_eq!(
+            homog_a,
+            report_key(&a, exp.seed, &system, &exp, &sys, ExecMode::Coupled)
+        );
+    }
+
+    #[test]
+    fn degenerate_mix_cell_runs_byte_identical_to_homogeneous() {
+        let spec = WorkloadSpec::tiny_test();
+        let exp = tiny_exp();
+        let mut sys = SystemConfig::table2();
+        sys.num_cores = 2;
+        let system = SystemSpec::Kind(SystemKind::TifsVirtualized);
+        let programs = CellPrograms::build(
+            &CellWorkload::Mix(vec![spec.clone(), spec.clone()]),
+            exp.seed,
+        );
+        let mix = run_cell_mix(&programs, &system, &exp, &sys);
+        let legacy = run_cell(&Workload::build(&spec, exp.seed), &system, &exp, &sys);
+        assert_eq!(
+            mix.to_canonical_bytes(),
+            legacy.to_canonical_bytes(),
+            "a degenerate mix must reproduce the legacy cell byte for byte"
+        );
+    }
+
+    #[test]
+    fn mix_cells_report_store_warm_start_is_all_hits() {
+        let dir =
+            std::env::temp_dir().join(format!("tifs-engine-mix-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sys = SystemConfig::table2();
+        sys.num_cores = 2;
+        let cells = [
+            CellWorkload::Homogeneous(WorkloadSpec::tiny_test()),
+            CellWorkload::Mix(vec![
+                WorkloadSpec::tiny_test(),
+                WorkloadSpec::tiny_test().with_duty_cycle(0.5),
+            ]),
+        ];
+        let systems = [
+            SystemSpec::Kind(SystemKind::NextLine),
+            SystemSpec::Kind(SystemKind::TifsVirtualized),
+        ];
+        let mk = || {
+            Lab::build(Vec::new(), tiny_exp())
+                .with_report_store(ReportStore::new(&dir).expect("store dir"))
+        };
+        let cold_lab = mk();
+        let cold = run_mix_cells(&cold_lab, &sys, &cells, &systems, 2);
+        let s = cold_lab.report_store().unwrap().stats();
+        assert_eq!((s.hits, s.misses, s.writes), (0, 4, 4));
+        let warm_lab = mk();
+        let warm = run_mix_cells(&warm_lab, &sys, &cells, &systems, 2);
+        let s = warm_lab.report_store().unwrap().stats();
+        assert_eq!((s.hits, s.misses, s.writes), (4, 0, 0));
+        // The store is a pure cache: a storeless lab agrees exactly.
+        let plain = run_mix_cells(
+            &Lab::build(Vec::new(), tiny_exp()),
+            &sys,
+            &cells,
+            &systems,
+            2,
+        );
+        for (rows, other) in [(&cold, &warm), (&plain, &warm)] {
+            for (row, other_row) in rows.iter().zip(other.iter()) {
+                for (report, other_report) in row.iter().zip(other_row.iter()) {
+                    assert_eq!(
+                        report.to_canonical_bytes(),
+                        other_report.to_canonical_bytes()
+                    );
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -16,11 +16,12 @@
 
 use tifs_core::{MetadataOrg, TifsConfig, TifsGrammarConfig};
 use tifs_experiments::engine::{
-    report_key, run_cell, run_cell_sharded, run_cell_sharded_contended, ExecMode, SystemSpec,
+    report_key, report_key_cell, run_cell, run_cell_sharded, run_cell_sharded_contended, ExecMode,
+    SystemSpec,
 };
 use tifs_experiments::harness::{ExpConfig, SystemKind};
 use tifs_sim::config::SystemConfig;
-use tifs_trace::workload::{Workload, WorkloadSpec};
+use tifs_trace::workload::{CellWorkload, Workload, WorkloadSpec};
 
 fn pin_exp() -> ExpConfig {
     ExpConfig {
@@ -353,6 +354,67 @@ fn grammar_systems_address_disjoint_content_from_every_pin() {
                 a, b,
                 "grammar keys must be distinct: {a_label} vs {b_label}"
             );
+        }
+    }
+}
+
+#[test]
+fn mix_cells_address_disjoint_content_and_degenerate_mixes_hash_as_pins() {
+    // The workload-mix axis (PR 10) extends the key schema append-only
+    // at the *front* of the key: a true mix hashes a `mix` tag, its
+    // position count, and each position's spec before the shared
+    // suffix, while a degenerate mix canonicalizes to `Homogeneous`
+    // and must reproduce the legacy key *byte-for-byte* — including
+    // the pre-axis pins above, which predate `CellWorkload` entirely.
+    let exp = pin_exp();
+    let sys = SystemConfig::table2();
+
+    // Degenerate mixes of any width hash exactly as the pinned
+    // homogeneous cells they collapse to.
+    for pin in PINS {
+        for copies in [1usize, 2, 4] {
+            let cell = CellWorkload::Mix(vec![(pin.spec)(); copies]);
+            let key = report_key_cell(&cell, exp.seed, &(pin.system)(), &exp, &sys, pin.mode);
+            assert_eq!(
+                key.0, pin.key,
+                "{copies}-copy degenerate mix drifted from pin {}",
+                pin.label
+            );
+        }
+    }
+
+    // True mixes land in fresh address space: distinct from every pin,
+    // from each other, and order-sensitive (per-(core,spec) keying —
+    // the bug this PR fixes was mixes aliasing their position-0 spec).
+    let a = WorkloadSpec::web_zeus;
+    let b = WorkloadSpec::oltp_db2;
+    let mixes: Vec<(&str, CellWorkload)> = vec![
+        ("a,b", CellWorkload::Mix(vec![a(), b()])),
+        ("b,a", CellWorkload::Mix(vec![b(), a()])),
+        ("a,a,b", CellWorkload::Mix(vec![a(), a(), b()])),
+    ];
+    let mut keys = Vec::new();
+    for (label, cell) in &mixes {
+        let key = report_key_cell(
+            cell,
+            exp.seed,
+            &SystemSpec::Kind(SystemKind::TifsVirtualized),
+            &exp,
+            &sys,
+            ExecMode::Coupled,
+        );
+        for pin in PINS {
+            assert_ne!(
+                key.0, pin.key,
+                "mix {label} must not collide with pin {}",
+                pin.label
+            );
+        }
+        keys.push((*label, key.0));
+    }
+    for (i, (a_label, a)) in keys.iter().enumerate() {
+        for (b_label, b) in &keys[i + 1..] {
+            assert_ne!(a, b, "mix keys must be distinct: {a_label} vs {b_label}");
         }
     }
 }

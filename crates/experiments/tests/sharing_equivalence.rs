@@ -71,7 +71,30 @@ fn run_pair(
     org: MetadataOrg,
     sharded: bool,
 ) -> (Vec<u8>, Vec<u8>) {
-    let workload = Workload::build(&WorkloadSpec::tiny_test(), seed);
+    run_pair_spec(
+        &WorkloadSpec::tiny_test(),
+        seed,
+        cores,
+        instructions,
+        warmup,
+        storage,
+        org,
+        sharded,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_pair_spec(
+    spec: &WorkloadSpec,
+    seed: u64,
+    cores: usize,
+    instructions: u64,
+    warmup: u64,
+    storage: ImlStorage,
+    org: MetadataOrg,
+    sharded: bool,
+) -> (Vec<u8>, Vec<u8>) {
+    let workload = Workload::build(spec, seed);
     let exp = ExpConfig {
         instructions,
         warmup,
@@ -150,6 +173,54 @@ proptest! {
             private == shared,
             "1-core {:?} must be byte-identical to private (seed {})",
             org, seed
+        );
+    }
+
+    #[test]
+    fn one_active_core_sharing_is_private_under_skew_and_flush(
+        seed in 0u64..10_000,
+        instructions in 1_000u64..3_000,
+        warmup in 0u64..1_000,
+        ways in 0usize..=3,
+        pooled in any::<bool>(),
+        duty_quarters in 1u8..=4,
+        period_choice in 0u8..3,
+        storage_choice in 0u8..4,
+    ) {
+        // The skewed-demand arbitration claim, byte-compared: with one
+        // *active* core, sharing must be exactly private no matter how
+        // the tenant is throttled (duty cycle) or how often it context
+        // switches (flush/refill churn). This is provable only at 1
+        // core — in a multi-core CMP even fully duty-cycled-out tenants
+        // issue a handful of cold idle-loop operations whose port slots
+        // can shift the hot core's timing by design — so the per-cycle
+        // half of the claim ("cores issuing zero metadata operations
+        // never delay a hot core") lives in the MetadataPorts unit
+        // suite (`idle_cores_never_delay_a_hot_core`).
+        let period = [0u64, 500, 2_000][usize::from(period_choice)];
+        let spec = WorkloadSpec::tiny_test()
+            .with_duty_cycle(0.25 * f64::from(duty_quarters))
+            .with_ctx_switch_period(period);
+        let org = if pooled {
+            MetadataOrg::shared_pool(ways)
+        } else {
+            MetadataOrg::shared_quota(ways)
+        };
+        let (private, shared) = run_pair_spec(
+            &spec,
+            seed,
+            1,
+            instructions,
+            warmup,
+            storage_of(storage_choice),
+            org,
+            false,
+        );
+        prop_assert!(
+            private == shared,
+            "1-active-core {:?} must be byte-identical to private under \
+             duty {} / period {} (seed {})",
+            org, 0.25 * f64::from(duty_quarters), period, seed
         );
     }
 

@@ -83,7 +83,13 @@ const TARGETS: &[Target] = &[
     st(
         "crates/sim/src/stats.rs",
         "CoreStats",
-        &["SIM_REPORT_LAYOUT_VERSION"],
+        // Flush/refill counters ride the trailing flush section, so a
+        // CoreStats change may be covered by bumping (or introducing)
+        // the flush layout version instead of the base one.
+        &[
+            "SIM_REPORT_LAYOUT_VERSION",
+            "SIM_REPORT_FLUSH_LAYOUT_VERSION",
+        ],
     ),
     st(
         "crates/sim/src/stats.rs",
@@ -91,10 +97,12 @@ const TARGETS: &[Target] = &[
         &[
             "SIM_REPORT_LAYOUT_VERSION",
             "SIM_REPORT_EVENT_LAYOUT_VERSION",
+            "SIM_REPORT_FLUSH_LAYOUT_VERSION",
         ],
     ),
     ct("crates/sim/src/stats.rs", "SIM_REPORT_LAYOUT_VERSION"),
     ct("crates/sim/src/stats.rs", "SIM_REPORT_EVENT_LAYOUT_VERSION"),
+    ct("crates/sim/src/stats.rs", "SIM_REPORT_FLUSH_LAYOUT_VERSION"),
     st(
         "crates/sim/src/l2.rs",
         "L2Stats",

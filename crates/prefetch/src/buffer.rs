@@ -91,6 +91,12 @@ impl PrefetchBuffer {
         self.hits = 0;
         self.discards = 0;
     }
+
+    /// Context-switch flush: drops every buffered block without charging
+    /// discards (the drop is an external event, not a wasted prefetch).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
 }
 
 #[cfg(test)]

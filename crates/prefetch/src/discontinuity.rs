@@ -153,6 +153,17 @@ impl IPrefetcher for DiscontinuityPrefetcher {
         }
     }
 
+    fn on_flush(&mut self, ctx: &mut PrefetchCtx<'_>) {
+        // The discontinuity table is trained on the outgoing program's
+        // transitions; the incoming one must not inherit them (nor its
+        // buffered/in-flight blocks, which targeted the old stream).
+        let core = &mut self.cores[ctx.core];
+        core.table.iter_mut().for_each(|slot| *slot = None);
+        core.last_block = None;
+        core.buffer.clear();
+        core.inflight = FillQueue::new();
+    }
+
     fn reset_counters(&mut self) {
         for c in &mut self.cores {
             c.issued = 0;

@@ -328,6 +328,26 @@ impl IPrefetcher for Fdip<'_> {
         }
     }
 
+    fn on_flush(&mut self, ctx: &mut PrefetchCtx<'_>) {
+        // Everything trained on or derived from the outgoing program's
+        // stream dies: predictors, RAS, BTB, the exploration path, and
+        // the buffered/in-flight blocks it steered. The L1 mirror stays
+        // — caches keep their contents across a context switch.
+        let core = &mut self.cores[ctx.core];
+        core.bpred = HybridPredictor::table2();
+        core.ras = ReturnAddressStack::new(32);
+        core.btb = TargetBuffer::new(4096);
+        core.explore_pc = None;
+        core.spec_history = 0;
+        core.spec_ras = ReturnAddressStack::new(32);
+        core.path.clear();
+        core.branches_in_path = 0;
+        core.last_explored_block = None;
+        core.restart_pending = true;
+        core.buffer.clear();
+        core.inflight = FillQueue::new();
+    }
+
     fn reset_counters(&mut self) {
         for c in &mut self.cores {
             c.issued = 0;

@@ -51,6 +51,15 @@ enum Transition {
     Wait,
 }
 
+/// Baseline misses tracked in the sliding coverage window that defines
+/// refill-window recovery (large enough to smooth phase noise, small
+/// enough to react within a few hundred fetched blocks).
+const COV_WINDOW: usize = 64;
+
+/// Minimum post-flush samples before a refill window may close (a couple
+/// of lucky early hits must not declare the metadata refilled).
+const COV_MIN_SAMPLES: usize = 16;
+
 /// One core of the simulated CMP.
 pub struct Core<'a> {
     id: usize,
@@ -84,6 +93,22 @@ pub struct Core<'a> {
     finished_at: Option<u64>,
     /// Cycle at which the current measurement epoch began.
     epoch: u64,
+
+    /// Sliding window of baseline-miss outcomes (`true` = covered by the
+    /// evaluated prefetcher), defining the running coverage a flush must
+    /// recover to.
+    cov_window: VecDeque<bool>,
+    /// Covered outcomes currently in `cov_window`.
+    cov_hits: usize,
+    /// Open metadata-refill window: the pre-flush coverage mean the
+    /// post-flush window must reach before the window closes.
+    refill_target: Option<f64>,
+    /// Whether the open refill window has seen a baseline miss yet.
+    /// Billing starts at the first post-flush miss: a core running
+    /// entirely out of its L1-I has no metadata cost to recover, so an
+    /// L1-resident phase (or workload) must not have its whole duration
+    /// charged as refill.
+    refill_billing: bool,
 }
 
 impl<'a> Core<'a> {
@@ -121,6 +146,10 @@ impl<'a> Core<'a> {
             quota,
             finished_at: None,
             epoch: 0,
+            cov_window: VecDeque::with_capacity(COV_WINDOW),
+            cov_hits: 0,
+            refill_target: None,
+            refill_billing: false,
         }
     }
 
@@ -173,6 +202,9 @@ impl<'a> Core<'a> {
     pub fn tick(&mut self, now: u64, l2: &mut L2, pf: &mut dyn IPrefetcher) {
         if self.finished_at.is_some() {
             return;
+        }
+        if self.refill_target.is_some() && self.refill_billing {
+            self.stats.refill_cycles += 1;
         }
         self.retire(now, l2, pf);
         if self.finished_at.is_some() {
@@ -359,9 +391,65 @@ impl<'a> Core<'a> {
                 pf.on_fetch_instr(&mut ctx, &rec);
             }
             self.train_control_flow(now, &rec);
+            if rec.flush {
+                self.on_context_switch(now, l2, pf);
+            }
             fetched += 1;
             if self.stalled_until > now {
                 break; // redirect bubble ends this fetch group
+            }
+        }
+    }
+
+    /// The stream marked a context switch at this instruction: the
+    /// incoming program must not see the outgoing one's prefetcher
+    /// metadata. The prefetcher invalidates this core's prediction state
+    /// (caches are untouched), the core pays a kernel-entry redirect
+    /// bubble, and a metadata-refill window opens: from the first
+    /// post-flush baseline miss (an L1-resident phase has no metadata
+    /// cost to recover) until windowed coverage recovers to its
+    /// pre-flush running mean, elapsed cycles and baseline misses are
+    /// charged to the refill counters.
+    fn on_context_switch(&mut self, now: u64, l2: &mut L2, pf: &mut dyn IPrefetcher) {
+        self.stats.flushes += 1;
+        let mut ctx = PrefetchCtx {
+            now,
+            core: self.id,
+            l2,
+        };
+        pf.on_flush(&mut ctx);
+        let target = if self.cov_window.is_empty() {
+            0.0
+        } else {
+            self.cov_hits as f64 / self.cov_window.len() as f64
+        };
+        self.cov_window.clear();
+        self.cov_hits = 0;
+        self.refill_target = Some(target);
+        self.refill_billing = false;
+        // Context-switch redirect: same bubble as a trap (kernel
+        // entry/exit squashes the front end).
+        self.stalled_until = self.stalled_until.max(now + 2 * self.mispredict_penalty);
+    }
+
+    /// Records one baseline-miss outcome (`covered` = supplied by the
+    /// evaluated prefetcher) in the sliding coverage window, charging and
+    /// possibly closing an open refill window.
+    fn note_miss_outcome(&mut self, covered: bool) {
+        if self.cov_window.len() == COV_WINDOW && self.cov_window.pop_front() == Some(true) {
+            self.cov_hits -= 1;
+        }
+        self.cov_window.push_back(covered);
+        if covered {
+            self.cov_hits += 1;
+        }
+        if let Some(target) = self.refill_target {
+            self.refill_billing = true;
+            self.stats.refill_misses += 1;
+            if self.cov_window.len() >= COV_MIN_SAMPLES
+                && self.cov_hits as f64 >= target * self.cov_window.len() as f64
+            {
+                self.refill_target = None;
             }
         }
     }
@@ -453,6 +541,7 @@ impl<'a> Core<'a> {
             Some(ready) if ready <= now => {
                 // SVB/FDIP-buffer hit: transfer into L1 immediately.
                 self.stats.prefetch_hits += 1;
+                self.note_miss_outcome(true);
                 self.l1i.insert(block);
                 self.cur_block = Some(block);
                 self.issue_next_line(now, block, l2);
@@ -461,6 +550,7 @@ impl<'a> Core<'a> {
             Some(ready) => {
                 // Late prefetch: partially hidden latency.
                 self.stats.prefetch_hits += 1;
+                self.note_miss_outcome(true);
                 self.fill_wait = Some(FillWait {
                     block,
                     ready,
@@ -472,6 +562,7 @@ impl<'a> Core<'a> {
             }
             None => {
                 self.stats.demand_misses += 1;
+                self.note_miss_outcome(false);
                 match l2.request(now, block, L2ReqKind::IFetch, None) {
                     Some(resp) => {
                         self.fill_wait = Some(FillWait {

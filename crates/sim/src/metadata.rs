@@ -139,6 +139,22 @@ mod tests {
     }
 
     #[test]
+    fn idle_cores_never_delay_a_hot_core() {
+        // Satellite check for the skewed-demand study: delay is computed
+        // from *issued* foreign operations, never from core count, so a
+        // hot core sharing the structure with zero-op (idle / duty-cycled
+        // out) cores times exactly as if it were alone — 1-active-core
+        // sharing is equivalent to private metadata under any skew.
+        let mut p = MetadataPorts::new(8, 1);
+        for now in 0..50 {
+            for _ in 0..4 {
+                assert_eq!(p.access(now, 3), 0, "idle peers must cost nothing");
+            }
+        }
+        assert_eq!(p.contention(), (0, 0));
+    }
+
+    #[test]
     fn reset_preserves_cycle_state() {
         let mut p = MetadataPorts::new(2, 1);
         assert_eq!(p.access(4, 0), 0);

@@ -71,6 +71,14 @@ pub trait IPrefetcher {
     /// pointers die with their tags).
     fn on_l2_evict(&mut self, _block: BlockAddr) {}
 
+    /// `ctx.core` context-switched to a different program: any prediction
+    /// state derived from the outgoing program's fetch stream (history
+    /// logs, index pointers, in-flight streams, exploration cursors) must
+    /// be invalidated for that core. Cache contents are untouched — a
+    /// flush is a metadata event; the L1/L2 arrays keep their blocks and
+    /// pay their own (modelled) misses.
+    fn on_flush(&mut self, _ctx: &mut PrefetchCtx<'_>) {}
+
     /// Once-per-cycle housekeeping (stream rate matching, queue draining).
     fn tick(&mut self, _ctx: &mut PrefetchCtx<'_>) {}
 

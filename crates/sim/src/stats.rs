@@ -31,6 +31,21 @@ pub struct CoreStats {
     pub mispredicts: u64,
     /// Conditional branches seen.
     pub cond_branches: u64,
+    /// Context-switch flushes observed: each invalidated this core's
+    /// prefetcher metadata (TIFS history/index pointers, FDIP state) and
+    /// opened a metadata-refill window. Encoded in the trailing
+    /// [`SIM_REPORT_FLUSH_LAYOUT_VERSION`] section, present only when a
+    /// run saw flush activity — flushless reports keep their exact
+    /// pre-flush byte layout.
+    pub flushes: u64,
+    /// Cycles spent inside refill windows: from each flush's first
+    /// post-flush baseline miss (an L1-resident phase has no metadata to
+    /// refill) until windowed coverage recovered to its pre-flush
+    /// running mean (or the run ended).
+    pub refill_cycles: u64,
+    /// Baseline misses (prefetcher hits + demand misses) incurred inside
+    /// refill windows — the metadata-refill cost of context switches.
+    pub refill_misses: u64,
 }
 
 impl CoreStats {
@@ -147,6 +162,9 @@ impl SimReport {
         let put = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
         put(&mut out, cores.len() as u64);
         for core in cores {
+            // Exhaustive destructure; the flush counters are encoded in
+            // the trailing versioned section below, not in the layout-1
+            // core block.
             let CoreStats {
                 retired,
                 cycles,
@@ -158,6 +176,9 @@ impl SimReport {
                 fetch_stall_cycles,
                 mispredicts,
                 cond_branches,
+                flushes: _,
+                refill_cycles: _,
+                refill_misses: _,
             } = core;
             for v in [
                 retired,
@@ -230,6 +251,21 @@ impl SimReport {
                 put(&mut out, b.0);
             }
         }
+        // Versioned trailing flush section, present only when a run saw
+        // context-switch activity: a flushless report keeps its exact
+        // prior byte layout, so every pre-existing store entry stays
+        // decodable and warm.
+        if cores
+            .iter()
+            .any(|c| c.flushes != 0 || c.refill_cycles != 0 || c.refill_misses != 0)
+        {
+            put(&mut out, u64::from(SIM_REPORT_FLUSH_LAYOUT_VERSION));
+            for core in cores {
+                put(&mut out, core.flushes);
+                put(&mut out, core.refill_cycles);
+                put(&mut out, core.refill_misses);
+            }
+        }
         out
     }
 
@@ -255,6 +291,10 @@ impl SimReport {
                 fetch_stall_cycles: cur.u64()?,
                 mispredicts: cur.u64()?,
                 cond_branches: cur.u64()?,
+                // Filled in by the trailing flush section, when present.
+                flushes: 0,
+                refill_cycles: 0,
+                refill_misses: 0,
             });
         }
         let mut accesses = [0u64; 6];
@@ -283,50 +323,66 @@ impl SimReport {
             let value = f64::from_bits(cur.u64()?);
             prefetcher.push((name, value));
         }
-        // Layout-1 payloads end here; a layout-2 payload continues with
-        // the versioned event section.
+        // Layout-1 payloads end here; extended payloads continue with
+        // versioned trailing sections in strictly increasing tag order
+        // (events, then flush counters), each present at most once.
         let mut l2_events = Vec::new();
         let mut l2_warm_blocks = Vec::new();
-        if cur.pos != bytes.len() {
+        let mut last_section = 0u64;
+        while cur.pos != bytes.len() {
             let section = cur.u64()?;
-            if section != u64::from(SIM_REPORT_EVENT_LAYOUT_VERSION) {
+            if section <= last_section {
                 return Err(ReportCodecError::BadEventSection(section));
             }
-            let n_events = usize_count(cur.u64()?)?;
-            l2_events.reserve(n_events.min(bytes.len() / 24 + 1));
-            for _ in 0..n_events {
-                let issue = cur.u64()?;
-                let block = BlockAddr(cur.u64()?);
-                let packed = cur.u64()?;
-                // tifs-lint: allow(narrowing-cast) — `& 0xFF` bounds the
-                // value to 8 bits; the cast cannot lose information.
-                let kind = L2ReqKind::from_index((packed & 0xFF) as usize)
-                    .ok_or(ReportCodecError::BadEventKind)?;
-                let hit = match packed >> 8 {
-                    0 => false,
-                    1 => true,
-                    _ => return Err(ReportCodecError::BadEventKind),
-                };
-                l2_events.push(L2Event {
-                    issue,
-                    block,
-                    kind,
-                    hit,
-                });
+            last_section = section;
+            if section == u64::from(SIM_REPORT_EVENT_LAYOUT_VERSION) {
+                let n_events = usize_count(cur.u64()?)?;
+                l2_events.reserve(n_events.min(bytes.len() / 24 + 1));
+                for _ in 0..n_events {
+                    let issue = cur.u64()?;
+                    let block = BlockAddr(cur.u64()?);
+                    let packed = cur.u64()?;
+                    // tifs-lint: allow(narrowing-cast) — `& 0xFF` bounds the
+                    // value to 8 bits; the cast cannot lose information.
+                    let kind = L2ReqKind::from_index((packed & 0xFF) as usize)
+                        .ok_or(ReportCodecError::BadEventKind)?;
+                    let hit = match packed >> 8 {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(ReportCodecError::BadEventKind),
+                    };
+                    l2_events.push(L2Event {
+                        issue,
+                        block,
+                        kind,
+                        hit,
+                    });
+                }
+                let n_warm = usize_count(cur.u64()?)?;
+                l2_warm_blocks.reserve(n_warm.min(bytes.len() / 8 + 1));
+                for _ in 0..n_warm {
+                    l2_warm_blocks.push(BlockAddr(cur.u64()?));
+                }
+                if l2_events.is_empty() && l2_warm_blocks.is_empty() {
+                    // A present-but-empty section would make the encoding
+                    // non-canonical (two byte strings for one report).
+                    return Err(ReportCodecError::TrailingBytes);
+                }
+            } else if section == u64::from(SIM_REPORT_FLUSH_LAYOUT_VERSION) {
+                let mut any = false;
+                for core in &mut cores {
+                    core.flushes = cur.u64()?;
+                    core.refill_cycles = cur.u64()?;
+                    core.refill_misses = cur.u64()?;
+                    any |= core.flushes != 0 || core.refill_cycles != 0 || core.refill_misses != 0;
+                }
+                if !any {
+                    // All-zero flush counters encode as no section at all.
+                    return Err(ReportCodecError::TrailingBytes);
+                }
+            } else {
+                return Err(ReportCodecError::BadEventSection(section));
             }
-            let n_warm = usize_count(cur.u64()?)?;
-            l2_warm_blocks.reserve(n_warm.min(bytes.len() / 8 + 1));
-            for _ in 0..n_warm {
-                l2_warm_blocks.push(BlockAddr(cur.u64()?));
-            }
-            if l2_events.is_empty() && l2_warm_blocks.is_empty() {
-                // A present-but-empty section would make the encoding
-                // non-canonical (two byte strings for one report).
-                return Err(ReportCodecError::TrailingBytes);
-            }
-        }
-        if cur.pos != bytes.len() {
-            return Err(ReportCodecError::TrailingBytes);
         }
         Ok(SimReport {
             cores,
@@ -405,6 +461,17 @@ pub const SIM_REPORT_LAYOUT_VERSION: u32 = 1;
 /// plain-sharded execution modes stay decodable and warm; only the
 /// contention-aware mode addresses layout-2 content.
 pub const SIM_REPORT_EVENT_LAYOUT_VERSION: u32 = 2;
+
+/// Bumped layout version for reports carrying context-switch flush and
+/// metadata-refill counters: a trailing section tagged with this version
+/// holding `(flushes, refill_cycles, refill_misses)` per core. Reports
+/// from flushless runs keep encoding exactly as before — the section is
+/// emitted only when at least one counter is nonzero — so every existing
+/// store entry stays decodable and warm; only workload mixes with context
+/// switching enabled address flush-section content. Sections are ordered
+/// by tag, so a report carrying both an event timeline and flush counters
+/// encodes events first.
+pub const SIM_REPORT_FLUSH_LAYOUT_VERSION: u32 = 3;
 
 /// Errors decoding a canonical report payload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -509,6 +576,9 @@ mod tests {
                     fetch_stall_cycles: 80,
                     mispredicts: 9,
                     cond_branches: 120,
+                    flushes: 0,
+                    refill_cycles: 0,
+                    refill_misses: 0,
                 },
                 CoreStats {
                     retired: 900,
@@ -630,6 +700,77 @@ mod tests {
         // Truncation inside the section.
         assert_eq!(
             SimReport::from_canonical_bytes(&bytes[..bytes.len() - 4]),
+            Err(ReportCodecError::Truncated)
+        );
+    }
+
+    #[test]
+    fn flush_section_roundtrips_and_stays_a_pure_suffix() {
+        // A flushless report keeps its exact prior bytes; flush counters
+        // ride a versioned trailing section after the event section.
+        let flushless = sample_report();
+        let mut flushed = flushless.clone();
+        flushed.cores[0].flushes = 4;
+        flushed.cores[0].refill_cycles = 230;
+        flushed.cores[0].refill_misses = 31;
+        let base = flushless.to_canonical_bytes();
+        let extended = flushed.to_canonical_bytes();
+        assert_eq!(
+            &extended[..base.len()],
+            &base[..],
+            "the flush section must be a pure suffix"
+        );
+        assert_eq!(
+            extended.len() - base.len(),
+            8 + 24 * flushed.cores.len(),
+            "section = version + 3 words per core"
+        );
+        let back = SimReport::from_canonical_bytes(&extended).unwrap();
+        assert_eq!(back, flushed);
+        assert_eq!(back.to_canonical_bytes(), extended);
+        // Both trailing sections together, in increasing tag order.
+        let mut both = flushed.clone();
+        both.l2_events = sample_events();
+        let bytes = both.to_canonical_bytes();
+        let back = SimReport::from_canonical_bytes(&bytes).unwrap();
+        assert_eq!(back, both);
+        assert_eq!(back.to_canonical_bytes(), bytes);
+    }
+
+    #[test]
+    fn flush_section_rejects_non_canonical_payloads() {
+        let flushless = sample_report();
+        let base = flushless.to_canonical_bytes();
+        // An all-zero flush section encodes as no section at all: a
+        // present-but-empty one would give the report two byte strings.
+        let mut padded = base.clone();
+        padded.extend_from_slice(&u64::from(SIM_REPORT_FLUSH_LAYOUT_VERSION).to_le_bytes());
+        for _ in 0..flushless.cores.len() * 3 {
+            padded.extend_from_slice(&0u64.to_le_bytes());
+        }
+        assert_eq!(
+            SimReport::from_canonical_bytes(&padded),
+            Err(ReportCodecError::TrailingBytes)
+        );
+        // Sections must arrive in strictly increasing tag order: flush
+        // before events (or any repeat) is rejected.
+        let mut flushed = flushless.clone();
+        flushed.cores[1].flushes = 1;
+        let mut reordered = flushed.to_canonical_bytes();
+        reordered.extend_from_slice(&u64::from(SIM_REPORT_FLUSH_LAYOUT_VERSION).to_le_bytes());
+        for _ in 0..flushed.cores.len() * 3 {
+            reordered.extend_from_slice(&1u64.to_le_bytes());
+        }
+        assert_eq!(
+            SimReport::from_canonical_bytes(&reordered),
+            Err(ReportCodecError::BadEventSection(u64::from(
+                SIM_REPORT_FLUSH_LAYOUT_VERSION
+            )))
+        );
+        // Truncation inside the section.
+        let full = flushed.to_canonical_bytes();
+        assert_eq!(
+            SimReport::from_canonical_bytes(&full[..full.len() - 4]),
             Err(ReportCodecError::Truncated)
         );
     }

@@ -89,7 +89,7 @@ proptest! {
     #[test]
     fn report_codec_roundtrips_arbitrary_reports(
         core_words in prop::collection::vec(
-            prop::collection::vec(any::<u64>(), 10..11),
+            prop::collection::vec(any::<u64>(), 13..14),
             0..5,
         ),
         l2_words in prop::collection::vec(any::<u64>(), 13..14),
@@ -113,7 +113,7 @@ proptest! {
     #[test]
     fn report_codec_rejects_any_truncation(
         core_words in prop::collection::vec(
-            prop::collection::vec(any::<u64>(), 10..11),
+            prop::collection::vec(any::<u64>(), 13..14),
             0..5,
         ),
         l2_words in prop::collection::vec(any::<u64>(), 13..14),
@@ -143,7 +143,7 @@ proptest! {
     #[test]
     fn shard_merge_is_associative_on_l2_and_cores(
         shards in prop::collection::vec(
-            prop::collection::vec(any::<u64>(), 10..11),
+            prop::collection::vec(any::<u64>(), 13..14),
             1..6,
         ),
     ) {
@@ -191,6 +191,9 @@ fn arbitrary_report(
             fetch_stall_cycles: w[7],
             mispredicts: w[8],
             cond_branches: w[9],
+            flushes: w[10],
+            refill_cycles: w[11],
+            refill_misses: w[12],
         })
         .collect();
     let l2 = L2Stats {

@@ -92,6 +92,11 @@ impl From<io::Error> for CodecError {
 // inner_loop is folded into a second flags bit via mem-class space:
 //   value 5 in bits 0-2 is unused, so inner_loop rides bit 3 of the
 //   *branch extension byte* written only for branches.
+// flush (context switch after this instruction) rides bit 5 of the flags
+// byte for non-branch records (bits 5-7 were previously always zero
+// there) and bit 1 of the branch extension byte for branches. Both bits
+// are zero in every pre-flush stream, so flush-free traces are
+// byte-identical to format v1 files written before the field existed.
 
 fn mem_to_bits(m: MemClass) -> u8 {
     match m {
@@ -197,12 +202,17 @@ pub fn write_trace<W: Write>(w: &mut W, records: &[FetchRecord]) -> Result<(), C
             if b.taken {
                 flags |= 1 << 7;
             }
+        } else if r.flush {
+            flags |= 1 << 5;
         }
         w.write_all(&[flags])?;
         write_varint(w, zigzag(r.pc.0 as i64 - prev_pc as i64))?;
         prev_pc = r.pc.0;
         if let Some(b) = r.branch {
-            let ext = u8::from(b.inner_loop);
+            let mut ext = u8::from(b.inner_loop);
+            if r.flush {
+                ext |= 1 << 1;
+            }
             w.write_all(&[ext])?;
             write_varint(w, zigzag(b.target.0 as i64 - r.pc.0 as i64))?;
         }
@@ -244,10 +254,12 @@ pub fn read_trace<R: Read>(r: &mut R) -> Result<Vec<FetchRecord>, CodecError> {
         let delta = unzigzag(read_varint(r)?);
         let pc = Addr((prev_pc as i64 + delta) as u64);
         prev_pc = pc.0;
+        let mut flush = flags & (1 << 5) != 0 && flags & (1 << 4) == 0;
         let branch = if flags & (1 << 4) != 0 {
             let mut ext = [0u8; 1];
             r.read_exact(&mut ext)
                 .map_err(|_| CodecError::Corrupt("truncated branch ext"))?;
+            flush = ext[0] & (1 << 1) != 0;
             let tdelta = unzigzag(read_varint(r)?);
             Some(BranchInfo {
                 kind: bits_to_kind(flags >> 5),
@@ -263,6 +275,7 @@ pub fn read_trace<R: Read>(r: &mut R) -> Result<Vec<FetchRecord>, CodecError> {
             branch,
             mem,
             trap,
+            flush,
         });
     }
     Ok(out)
@@ -510,6 +523,7 @@ mod tests {
                 }),
                 mem: MemClass::LoadL2,
                 trap: false,
+                flush: true,
             },
             FetchRecord {
                 pc: Addr(0x0FC0),
@@ -521,6 +535,7 @@ mod tests {
                 }),
                 mem: MemClass::Store,
                 trap: true,
+                flush: false,
             },
         ]
     }

@@ -21,6 +21,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::program::{CalleeSpec, FuncId, Program, StaticOp};
 use crate::record::{BranchInfo, BranchKind, FetchRecord, MemClass};
+use crate::types::Addr;
 
 /// Weighted transaction mix plus cold-path model.
 #[derive(Clone, Debug)]
@@ -94,6 +95,18 @@ pub struct ExecConfig {
     pub max_stack: usize,
     /// Load latency profile.
     pub data: DataProfile,
+    /// Fraction of scheduling decisions that start a transaction instead of
+    /// an idle-loop quantum; `1.0` (the default) never idles and draws no
+    /// extra randomness, so legacy streams are bit-identical.
+    pub duty_cycle: f64,
+    /// Idle-loop length in instructions when a quantum idles (rounded up to
+    /// a whole number of idle-loop iterations).
+    pub idle_quantum: u64,
+    /// Mean instructions between context switches; 0 (the default) disables
+    /// them and draws no extra randomness. A switch flags the record with
+    /// [`FetchRecord::flush`]: the simulated core's prefetcher metadata is
+    /// invalidated by the departing tenant.
+    pub ctx_switch_period: u64,
 }
 
 impl Default for ExecConfig {
@@ -103,9 +116,21 @@ impl Default for ExecConfig {
             trap_handlers: Vec::new(),
             max_stack: 64,
             data: DataProfile::default(),
+            duty_cycle: 1.0,
+            idle_quantum: 1024,
+            ctx_switch_period: 0,
         }
     }
 }
+
+/// Entry address of the shared OS idle loop. It sits below every program's
+/// text base (`0x10_0000`), so it never collides with generated code, and
+/// spans exactly one cache block: an idle core warms one block and then
+/// spins silently in its L1-I.
+pub const IDLE_BASE: u64 = 0x8000;
+/// Instructions per idle-loop iteration (one 64-byte block: 15 nops and a
+/// backward jump).
+pub const IDLE_LOOP_LEN: u64 = 16;
 
 #[derive(Clone, Copy, Debug)]
 struct Frame {
@@ -142,6 +167,13 @@ pub struct Walker<'p> {
     /// Depth of nested trap handlers (at most 1).
     in_trap: bool,
     trap_resume_depth: usize,
+    /// Instructions until the next context switch (geometric; `u64::MAX`
+    /// when disabled).
+    ctx_countdown: u64,
+    /// Idle-loop instructions still to emit (0 = running transactions).
+    idle_left: u64,
+    /// Position within the current idle-loop iteration.
+    idle_pos: u64,
     instructions: u64,
     transactions: u64,
 }
@@ -156,6 +188,8 @@ impl<'p> Walker<'p> {
         assert!(!mix.entries.is_empty(), "transaction mix must be non-empty");
         let mut rng = SmallRng::seed_from_u64(seed);
         let trap_countdown = Self::draw_trap_gap(&mut rng, config.trap_period);
+        // Draws nothing when disabled, so legacy streams stay bit-identical.
+        let ctx_countdown = Self::draw_trap_gap(&mut rng, config.ctx_switch_period);
         Walker {
             program,
             mix,
@@ -166,6 +200,9 @@ impl<'p> Walker<'p> {
             trap_countdown,
             in_trap: false,
             trap_resume_depth: 0,
+            ctx_countdown,
+            idle_left: 0,
+            idle_pos: 0,
             instructions: 0,
             transactions: 0,
         }
@@ -227,14 +264,87 @@ impl<'p> Walker<'p> {
         self.stack.push(Frame { func: h, idx: 0 });
         true
     }
+
+    fn maybe_context_switch(&mut self) -> bool {
+        if self.ctx_countdown == u64::MAX {
+            return false;
+        }
+        if self.ctx_countdown > 0 {
+            self.ctx_countdown -= 1;
+            return false;
+        }
+        self.ctx_countdown = Self::draw_trap_gap(&mut self.rng, self.config.ctx_switch_period);
+        true
+    }
+
+    /// Picks where execution continues once the call stack has drained:
+    /// either the next transaction's entry, or — with probability
+    /// `1 - duty_cycle` — the idle loop. Draws no randomness when the duty
+    /// cycle is 1.0.
+    fn next_work_addr(&mut self) -> Addr {
+        if self.config.duty_cycle < 1.0 && !self.rng.gen_bool(self.config.duty_cycle.max(0.0)) {
+            // Round the quantum up to whole idle-loop iterations so the
+            // loop is always exited at its backward jump (the emitted
+            // stream keeps perfect control-flow continuity).
+            let q = self.config.idle_quantum.max(1).div_ceil(IDLE_LOOP_LEN) * IDLE_LOOP_LEN;
+            self.idle_left = q;
+            self.idle_pos = 0;
+            Addr(IDLE_BASE)
+        } else {
+            self.start_transaction();
+            let f = self.stack.last().expect("fresh transaction");
+            self.program.addr_of(f.func, f.idx)
+        }
+    }
+
+    /// Emits one idle-loop instruction. Positions 0..14 are nops; position
+    /// 15 is a taken jump back to the loop head or — when the quantum is
+    /// spent — to the next scheduling decision's address. Traps and context
+    /// switches are frozen while idle: an idle core has no transaction
+    /// state worth interrupting or flushing.
+    fn idle_step(&mut self) -> FetchRecord {
+        let pc = Addr(IDLE_BASE + 4 * self.idle_pos);
+        self.idle_left -= 1;
+        let mut record = FetchRecord::plain(pc);
+        if self.idle_pos == IDLE_LOOP_LEN - 1 {
+            let target = if self.idle_left > 0 {
+                self.idle_pos = 0;
+                Addr(IDLE_BASE)
+            } else {
+                // May re-enter the idle loop (resetting idle_pos/idle_left)
+                // or start a transaction.
+                self.next_work_addr()
+            };
+            record.branch = Some(BranchInfo {
+                kind: BranchKind::Jump,
+                taken: true,
+                target,
+                inner_loop: false,
+            });
+        } else {
+            self.idle_pos += 1;
+        }
+        record
+    }
 }
 
 impl Iterator for Walker<'_> {
     type Item = FetchRecord;
 
     fn next(&mut self) -> Option<FetchRecord> {
+        if self.idle_left > 0 {
+            let record = self.idle_step();
+            self.instructions += 1;
+            return Some(record);
+        }
         if self.stack.is_empty() {
-            self.start_transaction();
+            // Scheduling decision: next transaction or an idle quantum.
+            let _ = self.next_work_addr();
+            if self.idle_left > 0 {
+                let record = self.idle_step();
+                self.instructions += 1;
+                return Some(record);
+            }
         }
         let frame = *self.stack.last().expect("frame pushed above");
         let func = self.program.function(frame.func);
@@ -305,13 +415,10 @@ impl Iterator for Walker<'_> {
                 self.stack.pop();
                 let target = match self.stack.last() {
                     Some(f) => self.program.addr_of(f.func, f.idx),
-                    // Transaction finished; next transaction entry is the
-                    // "return" target for trace continuity purposes.
-                    None => {
-                        self.start_transaction();
-                        let f = self.stack.last().expect("fresh transaction");
-                        self.program.addr_of(f.func, f.idx)
-                    }
+                    // Transaction finished; the next scheduling decision
+                    // (transaction entry or idle loop) is the "return"
+                    // target for trace continuity purposes.
+                    None => self.next_work_addr(),
                 };
                 if self.in_trap && self.stack.len() <= self.trap_resume_depth {
                     self.in_trap = false;
@@ -330,6 +437,13 @@ impl Iterator for Walker<'_> {
         // discontinuity.
         if self.maybe_enter_trap() {
             record.trap = true;
+        }
+        // Context switch: another tenant ran during the gap after this
+        // instruction. Its instructions are not traced — only the damage it
+        // does to this core's prefetcher metadata, which the flush flag
+        // tells the simulator to model.
+        if self.maybe_context_switch() {
+            record.flush = true;
         }
 
         self.instructions += 1;
@@ -515,6 +629,64 @@ mod tests {
                 "cold entry at {base:#x} never executed"
             );
         }
+    }
+
+    #[test]
+    fn duty_cycle_idles_with_continuity() {
+        let p = call_chain_program();
+        let config = ExecConfig {
+            duty_cycle: 0.3,
+            idle_quantum: 64,
+            ..ExecConfig::default()
+        };
+        let records: Vec<FetchRecord> =
+            Walker::new(&p, TransactionMix::single(FuncId(0)), config, 17)
+                .take(8000)
+                .collect();
+        let idle = records.iter().filter(|r| r.pc.0 < 0x1_0000).count();
+        assert!(idle > 500, "idle loop never entered ({idle})");
+        assert!(idle < 8000, "transactions never ran");
+        // Idle instructions live in one block and never touch data memory.
+        for r in records.iter().filter(|r| r.pc.0 < 0x1_0000) {
+            assert!(r.pc.0 >= IDLE_BASE && r.pc.0 < IDLE_BASE + 4 * IDLE_LOOP_LEN);
+            assert_eq!(r.mem, MemClass::None);
+        }
+        // Entering and leaving the idle loop preserves trace continuity.
+        for w in records.windows(2) {
+            if w[0].trap {
+                continue;
+            }
+            let expected = match w[0].branch {
+                Some(b) if b.taken => b.target,
+                _ => w[0].fall_through(),
+            };
+            assert_eq!(w[1].pc, expected, "discontinuity: {:?} -> {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn context_switches_flag_flush() {
+        let p = call_chain_program();
+        let config = ExecConfig {
+            ctx_switch_period: 100,
+            ..ExecConfig::default()
+        };
+        let records: Vec<FetchRecord> =
+            Walker::new(&p, TransactionMix::single(FuncId(0)), config, 9)
+                .take(10_000)
+                .collect();
+        let flushes = records.iter().filter(|r| r.flush).count();
+        assert!(flushes > 20, "expected flushes, got {flushes}");
+        // Disabled by default: no flush ever fires.
+        let baseline: Vec<FetchRecord> = Walker::new(
+            &p,
+            TransactionMix::single(FuncId(0)),
+            ExecConfig::default(),
+            9,
+        )
+        .take(10_000)
+        .collect();
+        assert!(baseline.iter().all(|r| !r.flush));
     }
 
     #[test]

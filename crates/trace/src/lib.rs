@@ -47,4 +47,4 @@ pub mod workload;
 pub use record::{BranchInfo, BranchKind, FetchRecord, MemClass};
 pub use store::{Fingerprint, ReportKey, ReportStore, StoreStats, TraceKey, TraceStore};
 pub use types::{Addr, BlockAddr, CoreId, Cycle, BLOCK_BYTES, INSTRS_PER_BLOCK, INSTR_BYTES};
-pub use workload::{Workload, WorkloadClass, WorkloadSpec};
+pub use workload::{CellPrograms, CellWorkload, Workload, WorkloadClass, WorkloadSpec};

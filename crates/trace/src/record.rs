@@ -76,6 +76,11 @@ pub struct FetchRecord {
     /// This instruction was interrupted by a trap: the *next* instruction
     /// executes in a trap handler (an unpredictable fetch discontinuity).
     pub trap: bool,
+    /// A context switch fired after this instruction: the core's
+    /// prefetcher metadata (TIFS history/index pointers, FDIP and
+    /// discontinuity state) is invalidated, and the simulator starts
+    /// measuring the metadata-refill cost.
+    pub flush: bool,
 }
 
 impl FetchRecord {
@@ -86,6 +91,7 @@ impl FetchRecord {
             branch: None,
             mem: MemClass::None,
             trap: false,
+            flush: false,
         }
     }
 

@@ -163,6 +163,8 @@ pub fn hash_workload_spec(h: &mut Fingerprint, spec: &WorkloadSpec) {
                 l1d_miss_rate,
                 l2_hit_frac,
             },
+        duty_cycle,
+        ctx_switch_period,
     } = spec;
     h.str(name);
     h.u64(match class {
@@ -191,6 +193,18 @@ pub fn hash_workload_spec(h: &mut Fingerprint, spec: &WorkloadSpec) {
     h.u64(*n_trap_handlers as u64);
     h.f64(*l1d_miss_rate);
     h.f64(*l2_hit_frac);
+    // Append-only extension (multi-tenant PR): the knobs hash *only* away
+    // from their defaults, so every legacy spec keeps its exact pre-mix
+    // fingerprint and every persistent store entry stays warm. Each knob
+    // is tagged so distinct knob combinations can never alias.
+    if *duty_cycle != 1.0 {
+        h.u64(0x6475_7479); // "duty"
+        h.f64(*duty_cycle);
+    }
+    if *ctx_switch_period != 0 {
+        h.u64(0x6378_7377); // "cxsw"
+        h.u64(*ctx_switch_period);
+    }
 }
 
 /// Stable content address of one trace store entry.

@@ -90,6 +90,14 @@ pub struct WorkloadSpec {
     pub n_trap_handlers: usize,
     /// Data-side latency profile.
     pub data: DataProfile,
+    /// Fraction of scheduling quanta spent on real transactions; the rest
+    /// idle-spin in a single resident block (throttled/idle tenant model).
+    /// 1.0 (the default) is the legacy always-busy behaviour.
+    pub duty_cycle: f64,
+    /// Mean instructions between context switches (0 disables). A switch
+    /// emits a flush event: the record is flagged and timing prefetchers
+    /// drop the core's accumulated metadata.
+    pub ctx_switch_period: u64,
 }
 
 impl WorkloadSpec {
@@ -120,6 +128,8 @@ impl WorkloadSpec {
                 l1d_miss_rate: 0.030,
                 l2_hit_frac: 0.85,
             },
+            duty_cycle: 1.0,
+            ctx_switch_period: 0,
         }
     }
 
@@ -153,6 +163,8 @@ impl WorkloadSpec {
                 l1d_miss_rate: 0.028,
                 l2_hit_frac: 0.85,
             },
+            duty_cycle: 1.0,
+            ctx_switch_period: 0,
         }
     }
 
@@ -183,6 +195,8 @@ impl WorkloadSpec {
                 l1d_miss_rate: 0.06,
                 l2_hit_frac: 0.55,
             },
+            duty_cycle: 1.0,
+            ctx_switch_period: 0,
         }
     }
 
@@ -216,6 +230,8 @@ impl WorkloadSpec {
                 l1d_miss_rate: 0.07,
                 l2_hit_frac: 0.5,
             },
+            duty_cycle: 1.0,
+            ctx_switch_period: 0,
         }
     }
 
@@ -249,6 +265,8 @@ impl WorkloadSpec {
                 l1d_miss_rate: 0.025,
                 l2_hit_frac: 0.85,
             },
+            duty_cycle: 1.0,
+            ctx_switch_period: 0,
         }
     }
 
@@ -281,6 +299,8 @@ impl WorkloadSpec {
                 l1d_miss_rate: 0.022,
                 l2_hit_frac: 0.85,
             },
+            duty_cycle: 1.0,
+            ctx_switch_period: 0,
         }
     }
 
@@ -321,7 +341,43 @@ impl WorkloadSpec {
             trap_period: 2000,
             n_trap_handlers: 2,
             data: DataProfile::default(),
+            duty_cycle: 1.0,
+            ctx_switch_period: 0,
         }
+    }
+
+    /// A small workload whose hot text overflows the 16 KB Table II
+    /// L1-I: recurring instruction misses at unit-test cost. The
+    /// flush-recovery and capacity tests need misses to measure —
+    /// [`tiny_test`](Self::tiny_test) is L1-resident by design and
+    /// cannot exercise either.
+    pub fn tiny_server() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "tiny-server",
+            seed_salt: 0x5E41,
+            path_len: 20,
+            shared_pool: 140,
+            cold_pool: 40,
+            cold_prob: 0.04,
+            ..WorkloadSpec::tiny_test()
+        }
+    }
+
+    /// Returns this spec throttled to spend only `duty_cycle` of its
+    /// scheduling quanta on real transactions (the rest idle-spin in one
+    /// resident block). `1.0` is a no-op and keeps the legacy trace and
+    /// report keys.
+    pub fn with_duty_cycle(mut self, duty_cycle: f64) -> WorkloadSpec {
+        self.duty_cycle = duty_cycle.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns this spec with context switches every ~`period` instructions
+    /// (geometric), each emitting a flush event. `0` disables switching and
+    /// keeps the legacy trace and report keys.
+    pub fn with_ctx_switch_period(mut self, period: u64) -> WorkloadSpec {
+        self.ctx_switch_period = period;
+        self
     }
 }
 
@@ -342,10 +398,26 @@ pub struct Workload {
     pub seed: u64,
 }
 
+/// Byte stride between the text bases of distinct mix slots. Generous
+/// enough for the largest Table I footprint (~2.2 MB) with room to grow,
+/// and small enough that 16 slots stay far below the simulator's IML
+/// mirror region (block `0x0800_0000`) and data region (block
+/// `0x4000_0000`).
+const SLOT_STRIDE_BYTES: u64 = 0x0100_0000;
+
 impl Workload {
     /// Builds the synthetic program for `spec` with a given seed.
     pub fn build(spec: &WorkloadSpec, seed: u64) -> Workload {
-        let mut w = Builder::new(spec.clone(), seed).build();
+        Workload::build_at(spec, seed, 0)
+    }
+
+    /// Builds the program in mix slot `slot`: slot 0 is the legacy address
+    /// space (`build` delegates here), higher slots occupy disjoint text
+    /// ranges so heterogeneous per-core programs never alias in the shared
+    /// L2 or the prefetcher metadata.
+    pub fn build_at(spec: &WorkloadSpec, seed: u64, slot: usize) -> Workload {
+        let base = 0x10_0000 + slot as u64 * SLOT_STRIDE_BYTES;
+        let mut w = Builder::new(spec.clone(), seed, base).build();
         w.seed = seed;
         w
     }
@@ -358,6 +430,134 @@ impl Workload {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(core as u64 + 1);
         Walker::new(&self.program, self.mix.clone(), self.exec.clone(), seed)
+    }
+}
+
+/// The workload assignment of one experiment cell: either every core walks
+/// the same spec (the legacy, homogeneous regime) or core `c` walks mix
+/// position `c % len` (heterogeneous multi-tenant fleets, skewed demand,
+/// server consolidation).
+#[derive(Clone, Debug)]
+pub enum CellWorkload {
+    /// Every core runs `spec` — byte- and key-identical to the pre-mix
+    /// engine.
+    Homogeneous(WorkloadSpec),
+    /// Core `c` runs `specs[c % specs.len()]`.
+    Mix(Vec<WorkloadSpec>),
+}
+
+impl CellWorkload {
+    /// The spec core `core` executes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty `Mix`.
+    pub fn spec_for_core(&self, core: usize) -> &WorkloadSpec {
+        match self {
+            CellWorkload::Homogeneous(spec) => spec,
+            CellWorkload::Mix(specs) => &specs[core % specs.len()],
+        }
+    }
+
+    /// All mix positions (a single slot for `Homogeneous`).
+    pub fn positions(&self) -> &[WorkloadSpec] {
+        match self {
+            CellWorkload::Homogeneous(spec) => std::slice::from_ref(spec),
+            CellWorkload::Mix(specs) => specs,
+        }
+    }
+
+    /// Collapses a `Mix` whose positions are all structurally identical
+    /// into `Homogeneous`, so degenerate mixes share programs, report
+    /// bytes, *and* store keys with the legacy cells they equal.
+    pub fn canonical(&self) -> CellWorkload {
+        if let CellWorkload::Mix(specs) = self {
+            if let [first, rest @ ..] = specs.as_slice() {
+                let fp = spec_fingerprint(first);
+                if rest.iter().all(|s| spec_fingerprint(s) == fp) {
+                    return CellWorkload::Homogeneous(first.clone());
+                }
+            }
+        }
+        self.clone()
+    }
+
+    /// Display name: the spec name, or a `+`-joined mix list.
+    pub fn name(&self) -> String {
+        match self {
+            CellWorkload::Homogeneous(spec) => spec.name.to_string(),
+            CellWorkload::Mix(specs) => {
+                specs.iter().map(|s| s.name).collect::<Vec<_>>().join(" + ")
+            }
+        }
+    }
+}
+
+fn spec_fingerprint(spec: &WorkloadSpec) -> u128 {
+    let mut h = crate::store::Fingerprint::new();
+    crate::store::hash_workload_spec(&mut h, spec);
+    h.finish()
+}
+
+/// The built programs behind one [`CellWorkload`]: one [`Workload`] per
+/// *distinct* spec (deduplicated by fingerprint, first occurrence first),
+/// each in its own address-space slot. A degenerate mix deduplicates to a
+/// single slot-0 build, which is byte-identical to the homogeneous build.
+#[derive(Clone, Debug)]
+pub struct CellPrograms {
+    cell: CellWorkload,
+    slots: Vec<Workload>,
+    /// Mix position -> slot index.
+    assign: Vec<usize>,
+}
+
+impl CellPrograms {
+    /// Builds every distinct program in the cell with the given seed.
+    pub fn build(cell: &CellWorkload, seed: u64) -> CellPrograms {
+        let cell = cell.canonical();
+        let positions = cell.positions();
+        let mut fingerprints: Vec<u128> = Vec::new();
+        let mut slots: Vec<Workload> = Vec::new();
+        let mut assign = Vec::with_capacity(positions.len());
+        for spec in positions {
+            let fp = spec_fingerprint(spec);
+            let slot = match fingerprints.iter().position(|&f| f == fp) {
+                Some(i) => i,
+                None => {
+                    fingerprints.push(fp);
+                    slots.push(Workload::build_at(spec, seed, slots.len()));
+                    slots.len() - 1
+                }
+            };
+            assign.push(slot);
+        }
+        CellPrograms {
+            cell,
+            slots,
+            assign,
+        }
+    }
+
+    /// The (canonicalized) cell this was built from.
+    pub fn cell(&self) -> &CellWorkload {
+        &self.cell
+    }
+
+    /// The distinct built programs, in slot order.
+    pub fn slots(&self) -> &[Workload] {
+        &self.slots
+    }
+
+    /// The workload core `core` executes.
+    pub fn workload_for_core(&self, core: usize) -> &Workload {
+        &self.slots[self.assign[core % self.assign.len()]]
+    }
+
+    /// The committed-instruction-stream iterator for one core. Seeds are
+    /// decorrelated per core exactly as [`Workload::walker`] does, so a
+    /// homogeneous cell's streams match the legacy engine byte for byte.
+    pub fn walker(&self, core: usize) -> Walker<'_> {
+        self.workload_for_core(core).walker(core)
     }
 }
 
@@ -408,13 +608,13 @@ struct Builder {
 }
 
 impl Builder {
-    fn new(spec: WorkloadSpec, seed: u64) -> Builder {
+    fn new(spec: WorkloadSpec, seed: u64, base: u64) -> Builder {
         let rng = SmallRng::seed_from_u64(seed ^ spec.seed_salt);
         Builder {
             spec,
             rng,
             functions: Vec::new(),
-            cursor: 0x10_0000, // leave low addresses unmapped
+            cursor: base, // low addresses stay unmapped (idle loop aside)
         }
     }
 
@@ -609,11 +809,19 @@ impl Builder {
             cold_entries,
             cold_prob: self.spec.cold_prob,
         };
+        // An idle quantum roughly matches one transaction's instruction
+        // count, so a core at duty cycle d retires the same quota while
+        // generating ~d of the fetch-miss demand.
+        let mean_func = u64::from(self.spec.func_instrs.0 + self.spec.func_instrs.1) / 2;
+        let idle_quantum = (self.spec.path_len as u64 * mean_func.max(1)).max(16);
         let exec = ExecConfig {
             trap_period: self.spec.trap_period,
             trap_handlers,
             max_stack: 64,
             data: self.spec.data,
+            duty_cycle: self.spec.duty_cycle,
+            idle_quantum,
+            ctx_switch_period: self.spec.ctx_switch_period,
         };
         Workload {
             program,

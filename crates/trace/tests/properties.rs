@@ -31,12 +31,14 @@ prop_compose! {
         pc in 0u64..1u64 << 40,
         mem in arb_mem(),
         trap in any::<bool>(),
+        flush in any::<bool>(),
         branch in proptest::option::of((arb_kind(), any::<bool>(), 0u64..1u64 << 40, any::<bool>())),
     ) -> FetchRecord {
         FetchRecord {
             pc: Addr(pc & !3), // instruction-aligned
             mem,
             trap,
+            flush,
             branch: branch.map(|(kind, taken, target, inner_loop)| BranchInfo {
                 kind,
                 taken,

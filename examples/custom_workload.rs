@@ -42,6 +42,8 @@ fn main() {
             l1d_miss_rate: 0.03,
             l2_hit_frac: 0.85,
         },
+        duty_cycle: 1.0,
+        ctx_switch_period: 0,
     };
     let workload = Workload::build(&spec, 7);
     println!(
